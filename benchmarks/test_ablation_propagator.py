@@ -1,0 +1,48 @@
+"""Ablation — SGP4 vs the vectorised Kepler+J2 propagator.
+
+Celestial extends SILLEO-SCNS with SGP4 support (§3.1).  This reproduction
+offers both an SGP4 implementation and a vectorised Kepler+J2 propagator for
+constellation-scale updates.  The ablation verifies that for the circular
+LEO shells used in the paper the two produce nearly identical positions and
+therefore the same network characteristics, and compares their runtime.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.orbits import Shell, ShellGeometry
+
+
+def test_propagator_ablation(benchmark):
+    geometry = ShellGeometry(6, 11, 780.0, 86.4, 180.0)
+    kepler_shell = Shell(geometry, propagator="kepler_j2")
+    sgp4_shell = Shell(geometry, propagator="sgp4")
+
+    def kepler_positions():
+        return kepler_shell.positions_eci(600.0)
+
+    kepler = benchmark(kepler_positions)
+    sgp4 = sgp4_shell.positions_eci(600.0)
+
+    position_difference = np.linalg.norm(kepler - sgp4, axis=1)
+    # Pairwise distances drive link delays; compare a sample of them.
+    rng = np.random.default_rng(0)
+    pairs = rng.integers(0, len(kepler_shell), size=(200, 2))
+    kepler_distances = np.linalg.norm(kepler[pairs[:, 0]] - kepler[pairs[:, 1]], axis=1)
+    sgp4_distances = np.linalg.norm(sgp4[pairs[:, 0]] - sgp4[pairs[:, 1]], axis=1)
+    delay_error_ms = np.abs(kepler_distances - sgp4_distances) / 299_792.458 * 1000.0
+
+    rows = [
+        ["max position difference [km]", float(position_difference.max())],
+        ["mean position difference [km]", float(position_difference.mean())],
+        ["max pairwise-distance delay error [ms]", float(delay_error_ms.max())],
+        ["mean pairwise-distance delay error [ms]", float(delay_error_ms.mean())],
+    ]
+    print()
+    print(render_table(["metric", "value"], rows,
+                       title="Ablation — Kepler+J2 vs SGP4 after 10 simulated minutes"))
+
+    # The propagators agree to within tens of kilometres, i.e. link delays
+    # differ by well under a millisecond — far below the effects studied.
+    assert position_difference.max() < 60.0
+    assert delay_error_ms.max() < 0.3

@@ -1,0 +1,59 @@
+"""Fig. 3 / §4 intro — meetup RTT: 46 ms via the cloud vs 16 ms via a satellite.
+
+Using a satellite server reduces the round-trip time for the most distant of
+the three West-African clients from 46 ms (Johannesburg cloud) to about
+16 ms over the phase I Starlink network.  The benchmark computes both RTTs
+from the constellation state and times the underlying shortest-path queries.
+"""
+
+from repro.analysis import render_table
+from repro.core import ConstellationCalculation
+from repro.scenarios import west_africa_configuration
+
+CLIENTS = ("accra", "abuja", "yaounde")
+
+
+def _best_satellite_rtt(state, calculation, clients):
+    """Worst-client RTT through the best common satellite server."""
+    candidate_sets = [
+        {(u.shell, u.satellite) for u in state.uplinks_of(client)} for client in clients
+    ]
+    candidates = set.intersection(*candidate_sets) or set.union(*candidate_sets)
+    best = float("inf")
+    for shell, satellite in candidates:
+        machine = calculation.satellite(shell, satellite)
+        worst_client = max(
+            state.rtt_ms(calculation.ground_station(client), machine) for client in clients
+        )
+        best = min(best, worst_client)
+    return best
+
+
+def test_fig03_cloud_vs_satellite_rtt(benchmark):
+    config = west_africa_configuration(duration_s=10.0, shells="two-lowest")
+    calculation = ConstellationCalculation(config)
+    state = calculation.state_at(0.0)
+    cloud = calculation.ground_station("johannesburg-cloud")
+
+    def worst_cloud_rtt():
+        return max(
+            state.rtt_ms(calculation.ground_station(client), cloud) for client in CLIENTS
+        )
+
+    cloud_rtt = benchmark(worst_cloud_rtt)
+    satellite_rtt = _best_satellite_rtt(state, calculation, CLIENTS)
+
+    rows = [
+        ["cloud (Johannesburg)", cloud_rtt, 46.0],
+        ["best satellite server", satellite_rtt, 16.0],
+    ]
+    print()
+    print(render_table(
+        ["bridge location", "worst-client RTT [ms]", "paper [ms]"],
+        rows,
+        title="Fig. 3 — meetup server round-trip times",
+    ))
+    # Shape: the satellite server cuts the RTT by roughly a factor of three.
+    assert satellite_rtt < 25.0
+    assert 30.0 < cloud_rtt < 60.0
+    assert cloud_rtt / satellite_rtt > 2.0

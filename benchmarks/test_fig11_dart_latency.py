@@ -1,0 +1,54 @@
+"""Fig. 11 — mean end-to-end latency of the ocean alert system per deployment.
+
+Paper result: the satellite-server deployment reduces end-to-end latency
+from 22-183 ms (central processing on Ford Island) to 13-90 ms; ground
+stations needing data from the same sensors observe similar delays; the lack
+of ISLs between the first and last Iridium plane raises latency towards the
+West Pacific, most prominently in the central deployment.
+"""
+
+from repro.analysis import render_table
+
+
+def test_fig11_dart_deployment_comparison(benchmark, dart_central_run, dart_satellite_run):
+    central = dart_central_run.results
+    satellite = dart_satellite_run.results
+    assert central.results_delivered > 1000
+    assert satellite.results_delivered > 1000
+
+    def aggregate():
+        rows = []
+        for results in (central, satellite):
+            low, high = results.latency_range_ms()
+            regions = results.mean_latency_by_region()
+            rows.append([
+                results.deployment,
+                results.all_latencies().mean(),
+                low,
+                high,
+                regions["west_pacific"],
+                regions["americas"],
+            ])
+        return rows
+
+    rows = benchmark(aggregate)
+    print()
+    print(render_table(
+        ["deployment", "mean [ms]", "min sink mean [ms]", "max sink mean [ms]",
+         "West Pacific [ms]", "Americas [ms]"],
+        rows,
+        title="Fig. 11 — mean observed end-to-end latency (paper: central 22-183 ms, satellite 13-90 ms)",
+    ))
+
+    central_row, satellite_row = rows
+    # Shape 1: on-path processing on the satellites roughly halves latency.
+    assert satellite_row[1] < central_row[1]
+    assert central_row[1] / satellite_row[1] > 1.5
+    # Shape 2: the whole latency range shifts down (min and max).
+    assert satellite_row[2] < central_row[2]
+    assert satellite_row[3] < central_row[3]
+    # Shape 3: the Iridium seam penalises the West Pacific, strongest centrally.
+    assert central_row[4] > central_row[5]
+    central_penalty = central_row[4] - central_row[5]
+    satellite_penalty = satellite_row[4] - satellite_row[5]
+    assert central_penalty > satellite_penalty

@@ -1,0 +1,41 @@
+"""§4.2 cost table — Celestial vs one cloud VM per satellite.
+
+Paper result: a 15-minute experiment on three hosts plus one coordinator
+costs $3.30 on Google Cloud Platform, whereas creating 4,409 f1-micro
+instances (one per satellite server) costs at least $539.66.  Absolute list
+prices differ from the paper's billing, but the comparison — Celestial is
+orders of magnitude cheaper — must hold.
+"""
+
+from repro.analysis import cost_comparison, render_table
+from repro.analysis.cost import GCPPriceTable, celestial_experiment_cost, per_satellite_vm_cost
+
+
+def test_cost_comparison_table(benchmark):
+    comparison = benchmark(cost_comparison)
+
+    rows = [
+        ["Celestial (3 hosts + coordinator)", comparison["celestial_usd"],
+         comparison["paper_celestial_usd"]],
+        ["one f1-micro per satellite (4,409 VMs)", comparison["per_satellite_vm_usd"],
+         comparison["paper_per_satellite_vm_usd"]],
+        ["savings factor", comparison["savings_factor"],
+         round(539.66 / 3.30, 1)],
+    ]
+    print()
+    print(render_table(
+        ["deployment", "measured [USD / 15 min]", "paper [USD / 15 min]"],
+        rows,
+        title="§4.2 — cost of a 15-minute experiment",
+    ))
+
+    assert comparison["celestial_usd"] < comparison["per_satellite_vm_usd"]
+    assert comparison["savings_factor"] > 5.0
+    # Longer experiments scale linearly for both alternatives.
+    hour = celestial_experiment_cost(minutes=60.0)
+    assert hour > celestial_experiment_cost(minutes=15.0)
+    assert per_satellite_vm_cost(minutes=60.0) > per_satellite_vm_cost(minutes=15.0)
+    # A custom price table is honoured (e.g. to plug in current prices).
+    custom = GCPPriceTable(prices_per_hour={"n2-highcpu-32": 1.0, "c2-standard-16": 1.0,
+                                            "f1-micro": 0.01})
+    assert celestial_experiment_cost(price_table=custom, minutes=60.0) == 4.0

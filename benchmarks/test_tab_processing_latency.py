@@ -1,0 +1,37 @@
+"""§5.2 — processing latency is similar in both deployments, around 2 ms.
+
+"Note that processing latency is similar between both deployments, at an
+average of 2 ms."  The benchmark checks the per-inference processing delay
+recorded by both deployments and times one NumPy LSTM forward pass, the
+computation that processing delay represents.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.apps.dart.lstm import StackedLSTM
+
+
+def test_processing_latency_about_two_ms(benchmark, dart_central_run, dart_satellite_run):
+    central = dart_central_run.results.processing_ms
+    satellite = dart_satellite_run.results.processing_ms
+    assert len(central) > 100
+    assert len(satellite) > 100
+
+    lstm = StackedLSTM(input_size=1, hidden_sizes=(16, 16))
+    window = np.linspace(1010.0, 1015.0, 16)[:, None]
+    benchmark(lstm.forward, window)
+
+    rows = [
+        ["central (8-core ground station)", central.mean(), central.std()],
+        ["satellite (1-core satellite server)", satellite.mean(), satellite.std()],
+    ]
+    print()
+    print(render_table(
+        ["deployment", "mean processing [ms]", "std [ms]"],
+        rows,
+        title="§5.2 — inference processing latency (paper: ~2 ms in both deployments)",
+    ))
+    assert 1.0 <= central.mean() <= 4.0
+    assert 1.0 <= satellite.mean() <= 4.0
+    assert abs(central.mean() - satellite.mean()) < 2.0

@@ -1,0 +1,38 @@
+"""Measurement analysis: latency series, experiment repetition, cost model, reports."""
+
+from repro.analysis.metrics import LatencySample, LatencySeries
+from repro.analysis.experiments import RepetitionResult, median_repetition, run_repetitions
+from repro.analysis.cost import (
+    GCPPriceTable,
+    celestial_experiment_cost,
+    cost_comparison,
+    per_satellite_vm_cost,
+)
+from repro.analysis.report import render_table
+from repro.analysis.handover import HandoverAnalysis, HandoverEvent, analyze_handovers
+from repro.analysis.traces import (
+    experiment_summary_to_json,
+    latency_series_from_csv,
+    latency_series_to_csv,
+    resource_trace_to_csv,
+)
+
+__all__ = [
+    "GCPPriceTable",
+    "HandoverAnalysis",
+    "HandoverEvent",
+    "LatencySample",
+    "LatencySeries",
+    "RepetitionResult",
+    "analyze_handovers",
+    "celestial_experiment_cost",
+    "cost_comparison",
+    "experiment_summary_to_json",
+    "latency_series_from_csv",
+    "latency_series_to_csv",
+    "median_repetition",
+    "per_satellite_vm_cost",
+    "render_table",
+    "resource_trace_to_csv",
+    "run_repetitions",
+]

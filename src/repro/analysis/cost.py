@@ -1,0 +1,85 @@
+"""Cloud cost model for testbed experiments (paper §4.2 "Efficiency").
+
+The paper reports that the three-host §4 experiment (plus coordinator) costs
+$3.30 on Google Cloud Platform for a 15-minute slot, compared to at least
+$539.66 when creating one f1-micro instance per satellite server (4,409
+instances).  Absolute cloud prices change over time; the price table below
+carries documented on-demand list prices so the *comparison* (Celestial is
+orders of magnitude cheaper than one-VM-per-satellite) can be regenerated and
+checked against the paper's numbers in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class GCPPriceTable:
+    """On-demand hourly prices [USD/h] for the machine types the paper uses.
+
+    Values approximate europe-west3 (Frankfurt) list prices around the
+    paper's publication (March 2022); adjust as needed for other regions.
+    """
+
+    prices_per_hour: dict = field(
+        default_factory=lambda: {
+            "n2-highcpu-32": 1.53,
+            "c2-standard-16": 1.11,
+            "f1-micro": 0.0098,
+            "e2-micro": 0.0105,
+        }
+    )
+    #: Minimum billed duration per instance [minutes] (GCP bills per second
+    #: with a one-minute minimum; other providers may round up further).
+    minimum_billed_minutes: float = 1.0
+
+    def hourly(self, machine_type: str) -> float:
+        """Hourly price of one machine type."""
+        if machine_type not in self.prices_per_hour:
+            raise KeyError(f"unknown machine type: {machine_type!r}")
+        return self.prices_per_hour[machine_type]
+
+    def cost(self, machine_type: str, count: int, minutes: float) -> float:
+        """Cost of running ``count`` instances for ``minutes``."""
+        if count < 0 or minutes < 0:
+            raise ValueError("count and minutes must be non-negative")
+        billed_minutes = max(minutes, self.minimum_billed_minutes)
+        return self.hourly(machine_type) * count * billed_minutes / 60.0
+
+
+def celestial_experiment_cost(
+    price_table: GCPPriceTable | None = None,
+    host_count: int = 3,
+    host_type: str = "n2-highcpu-32",
+    coordinator_type: str = "c2-standard-16",
+    minutes: float = 15.0,
+) -> float:
+    """Cost of a Celestial experiment: hosts plus one coordinator."""
+    table = price_table or GCPPriceTable()
+    return table.cost(host_type, host_count, minutes) + table.cost(coordinator_type, 1, minutes)
+
+
+def per_satellite_vm_cost(
+    price_table: GCPPriceTable | None = None,
+    satellite_count: int = 4409,
+    instance_type: str = "f1-micro",
+    minutes: float = 15.0,
+) -> float:
+    """Cost of the naive alternative: one cloud VM per satellite server."""
+    table = price_table or GCPPriceTable()
+    return table.cost(instance_type, satellite_count, minutes)
+
+
+def cost_comparison(minutes: float = 15.0, satellite_count: int = 4409) -> dict:
+    """The §4.2 cost comparison as a dictionary of figures."""
+    celestial = celestial_experiment_cost(minutes=minutes)
+    naive = per_satellite_vm_cost(minutes=minutes, satellite_count=satellite_count)
+    return {
+        "minutes": minutes,
+        "celestial_usd": round(celestial, 2),
+        "per_satellite_vm_usd": round(naive, 2),
+        "savings_factor": round(naive / celestial, 1),
+        "paper_celestial_usd": 3.30,
+        "paper_per_satellite_vm_usd": 539.66,
+    }

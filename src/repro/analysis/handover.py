@@ -1,0 +1,88 @@
+"""Ground-station uplink handover analysis.
+
+Ground equipment frequently needs to reconnect to new satellites as the
+constellation moves (§1, §2.3); applications and platforms must plan for
+these handovers.  This module quantifies them: given a constellation
+calculation and a ground station, it tracks which satellite is the nearest
+usable uplink over time and reports how often it changes and how long each
+uplink lasts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.constellation import ConstellationCalculation
+
+
+@dataclass(frozen=True)
+class HandoverEvent:
+    """One uplink change of a ground station."""
+
+    time_s: float
+    previous: tuple[int, int] | None
+    current: tuple[int, int] | None
+
+
+@dataclass
+class HandoverAnalysis:
+    """Uplink handover statistics of one ground station over an interval."""
+
+    ground_station: str
+    interval_s: float
+    duration_s: float
+    events: list[HandoverEvent]
+    coverage_fraction: float
+
+    @property
+    def handover_count(self) -> int:
+        """Number of uplink changes (excluding the initial acquisition)."""
+        return max(0, len(self.events) - 1)
+
+    @property
+    def handover_rate_per_minute(self) -> float:
+        """Handovers per minute of simulated time."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.handover_count / self.duration_s * 60.0
+
+    def mean_uplink_duration_s(self) -> float:
+        """Mean time the ground station keeps one uplink satellite."""
+        if self.handover_count == 0:
+            return self.duration_s
+        times = [event.time_s for event in self.events]
+        durations = np.diff(times + [self.duration_s])
+        return float(np.mean(durations)) if durations.size else self.duration_s
+
+
+def analyze_handovers(
+    calculation: ConstellationCalculation,
+    ground_station: str,
+    duration_s: float,
+    interval_s: float = 10.0,
+) -> HandoverAnalysis:
+    """Track the nearest usable uplink of a ground station over time."""
+    if duration_s <= 0 or interval_s <= 0:
+        raise ValueError("duration and interval must be positive")
+    events: list[HandoverEvent] = []
+    current: tuple[int, int] | None = None
+    covered_samples = 0
+    sample_times = np.arange(0.0, duration_s + 1e-9, interval_s)
+    for time_s in sample_times:
+        state = calculation.state_at(float(time_s))
+        uplinks = state.uplinks_of(ground_station)
+        nearest = (uplinks[0].shell, uplinks[0].satellite) if uplinks else None
+        if nearest is not None:
+            covered_samples += 1
+        if nearest != current:
+            events.append(HandoverEvent(float(time_s), current, nearest))
+            current = nearest
+    return HandoverAnalysis(
+        ground_station=ground_station,
+        interval_s=interval_s,
+        duration_s=duration_s,
+        events=events,
+        coverage_fraction=covered_samples / len(sample_times),
+    )

@@ -1,0 +1,123 @@
+"""Latency measurement series and the statistics used in the paper's figures.
+
+The paper reports cumulative distributions (Fig. 4), 1-second rolling medians
+(Figs. 5-6) and per-location means (Fig. 11); this module implements those
+aggregations over raw measurement samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LatencySample:
+    """One end-to-end latency measurement."""
+
+    time_s: float
+    latency_ms: float
+    source: str = ""
+    destination: str = ""
+
+
+class LatencySeries:
+    """A time-ordered collection of latency samples with figure-ready statistics."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._samples: list[LatencySample] = []
+
+    def add(self, time_s: float, latency_ms: float, source: str = "", destination: str = "") -> None:
+        """Record one measurement."""
+        if latency_ms < 0:
+            raise ValueError("latency must be non-negative")
+        self._samples.append(LatencySample(time_s, latency_ms, source, destination))
+
+    def extend(self, samples: Iterable[LatencySample]) -> None:
+        """Add many samples at once."""
+        for sample in samples:
+            self.add(sample.time_s, sample.latency_ms, sample.source, sample.destination)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> list[LatencySample]:
+        """All recorded samples in insertion order."""
+        return list(self._samples)
+
+    def times(self) -> np.ndarray:
+        """Sample timestamps [s]."""
+        return np.array([sample.time_s for sample in self._samples])
+
+    def values(self) -> np.ndarray:
+        """Sample latencies [ms]."""
+        return np.array([sample.latency_ms for sample in self._samples])
+
+    # -- statistics -----------------------------------------------------------
+
+    def mean(self) -> float:
+        """Mean latency [ms]."""
+        return float(np.mean(self.values())) if self._samples else float("nan")
+
+    def median(self) -> float:
+        """Median latency [ms]."""
+        return float(np.median(self.values())) if self._samples else float("nan")
+
+    def std(self) -> float:
+        """Standard deviation of latency [ms]."""
+        return float(np.std(self.values())) if self._samples else float("nan")
+
+    def percentile(self, q: float) -> float:
+        """Latency percentile ``q`` (0..100) [ms]."""
+        return float(np.percentile(self.values(), q)) if self._samples else float("nan")
+
+    def fraction_below(self, threshold_ms: float) -> float:
+        """Fraction of samples at or below a latency threshold (CDF value)."""
+        if not self._samples:
+            return float("nan")
+        return float(np.mean(self.values() <= threshold_ms))
+
+    def cdf(self) -> tuple[np.ndarray, np.ndarray]:
+        """Empirical CDF: sorted latencies and cumulative fractions (Fig. 4)."""
+        values = np.sort(self.values())
+        fractions = np.arange(1, len(values) + 1) / len(values)
+        return values, fractions
+
+    def rolling_median(self, window_s: float = 1.0) -> tuple[np.ndarray, np.ndarray]:
+        """Rolling median over a time window (Figs. 5-6): (window centres, medians)."""
+        if not self._samples:
+            return np.array([]), np.array([])
+        times = self.times()
+        values = self.values()
+        order = np.argsort(times)
+        times, values = times[order], values[order]
+        edges = np.arange(times[0], times[-1] + window_s, window_s)
+        centres, medians = [], []
+        for start in edges:
+            mask = (times >= start) & (times < start + window_s)
+            if np.any(mask):
+                centres.append(start + window_s / 2.0)
+                medians.append(float(np.median(values[mask])))
+        return np.array(centres), np.array(medians)
+
+    def filtered(self, source: Optional[str] = None, destination: Optional[str] = None) -> "LatencySeries":
+        """New series restricted to samples matching source/destination."""
+        series = LatencySeries(self.name)
+        for sample in self._samples:
+            if source is not None and sample.source != source:
+                continue
+            if destination is not None and sample.destination != destination:
+                continue
+            series.add(sample.time_s, sample.latency_ms, sample.source, sample.destination)
+        return series
+
+    def merged_with(self, other: "LatencySeries") -> "LatencySeries":
+        """New series containing the samples of both series."""
+        series = LatencySeries(self.name or other.name)
+        series.extend(self._samples)
+        series.extend(other.samples)
+        return series

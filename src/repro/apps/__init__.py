@@ -1,0 +1,30 @@
+"""Example LEO edge applications used in the paper's evaluation.
+
+* :mod:`repro.apps.processing` — the measured client/bridge processing-delay
+  model (1.37 ms median, 3.86 ms standard deviation, §4.1).
+* :mod:`repro.apps.video` — the §4 WebRTC-style video conference with a
+  meetup/bridge server on a satellite or in the Johannesburg cloud, plus the
+  tracking service that selects the optimal satellite.
+* :mod:`repro.apps.dart` — the §5 real-time ocean environment alert system:
+  DART buoys, an LSTM inference service (central or on-satellite) and
+  ship/island data sinks.
+"""
+
+from repro.apps.processing import ProcessingDelayModel
+from repro.apps.video import BridgeSelector, MeetupExperiment, MeetupResults, VideoStreamParams
+from repro.apps.dart.experiment import DartExperiment, DartResults
+from repro.apps.dart.lstm import StackedLSTM
+from repro.apps.stateful import VirtualStationarityExperiment, VirtualStationarityResults
+
+__all__ = [
+    "BridgeSelector",
+    "DartExperiment",
+    "DartResults",
+    "MeetupExperiment",
+    "MeetupResults",
+    "ProcessingDelayModel",
+    "StackedLSTM",
+    "VideoStreamParams",
+    "VirtualStationarityExperiment",
+    "VirtualStationarityResults",
+]

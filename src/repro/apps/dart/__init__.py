@@ -1,0 +1,13 @@
+"""The §5 DART-inspired real-time ocean environment alert application."""
+
+from repro.apps.dart.lstm import StackedLSTM
+from repro.apps.dart.workload import SensorGroups, SensorReadingGenerator
+from repro.apps.dart.experiment import DartExperiment, DartResults
+
+__all__ = [
+    "DartExperiment",
+    "DartResults",
+    "SensorGroups",
+    "SensorReadingGenerator",
+    "StackedLSTM",
+]

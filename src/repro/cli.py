@@ -1,0 +1,217 @@
+"""Command-line interface for the Celestial reproduction.
+
+Mirrors how the original testbed is driven from a single configuration file
+(§3.1): the CLI validates configurations, exports constellation snapshots,
+runs the paper's two evaluation workloads and prints the cost comparison.
+
+Usage (installed as ``repro-celestial``)::
+
+    repro-celestial validate config.toml
+    repro-celestial snapshot config.toml --time 120 --output snapshot.json --geojson
+    repro-celestial meetup --mode satellite --duration 60
+    repro-celestial dart --deployment central --buoys 20 --sinks 40 --duration 60
+    repro-celestial handover config.toml --station hawaii --duration 600
+    repro-celestial cost --minutes 15
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro import Celestial
+from repro.analysis import cost_comparison, render_table
+from repro.analysis.handover import analyze_handovers
+from repro.apps import DartExperiment, MeetupExperiment, VideoStreamParams
+from repro.core import (
+    Configuration,
+    ConstellationCalculation,
+    constellation_snapshot,
+    estimate_resources,
+    snapshot_to_geojson,
+    validate_configuration,
+)
+from repro.scenarios import dart_configuration, west_africa_configuration
+
+
+def _load_configuration(path: str) -> Configuration:
+    if path.endswith(".toml"):
+        return Configuration.from_toml(path)
+    with open(path) as handle:
+        return Configuration.from_dict(json.load(handle))
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    config = _load_configuration(args.config)
+    estimate = estimate_resources(config)
+    warnings = validate_configuration(config)
+    rows = [
+        ["satellites", config.total_satellites],
+        ["ground stations", len(config.ground_stations)],
+        ["peak satellites in bounding box", estimate.satellites_in_box],
+        ["estimated required CPU cores", estimate.required_cores],
+        ["available CPU cores", estimate.available_cores],
+        ["estimated required memory [MiB]", estimate.required_memory_mib],
+        ["available memory [MiB]", estimate.available_memory_mib],
+    ]
+    print(render_table(["quantity", "value"], rows, title=f"Validation of {args.config}"))
+    if warnings:
+        print("\nwarnings:")
+        for warning in warnings:
+            print(f"  - {warning}")
+    else:
+        print("\nno warnings")
+    return 0 if estimate.memory_sufficient else 1
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    config = _load_configuration(args.config)
+    calculation = ConstellationCalculation(config)
+    state = calculation.state_at(args.time)
+    if args.geojson:
+        payload = snapshot_to_geojson(state)
+    else:
+        payload = constellation_snapshot(state, include_links=not args.no_links)
+    text = json.dumps(payload, indent=2 if args.pretty else None)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output} ({len(text)} bytes, t={args.time:.0f}s)")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_meetup(args: argparse.Namespace) -> int:
+    config = west_africa_configuration(duration_s=args.duration, shells=args.shells,
+                                       seed=args.seed)
+    testbed = Celestial(config)
+    experiment = MeetupExperiment(
+        testbed,
+        mode=args.mode,
+        stream=VideoStreamParams(packet_interval_s=args.packet_interval),
+    )
+    results = experiment.run()
+    merged = results.all_measurements()
+    rows = [
+        ["samples", len(merged)],
+        ["median latency [ms]", merged.median()],
+        ["p80 latency [ms]", merged.percentile(80)],
+        ["fraction <= 16 ms", merged.fraction_below(16.0)],
+        ["fraction <= 46 ms", merged.fraction_below(46.0)],
+        ["bridge handovers", max(0, len(results.bridge_history) - 1)],
+    ]
+    print(render_table(["metric", "value"], rows,
+                       title=f"Meetup experiment ({args.mode} bridge, {args.duration:.0f}s)"))
+    return 0
+
+
+def _cmd_dart(args: argparse.Namespace) -> int:
+    config = dart_configuration(
+        deployment=args.deployment,
+        buoy_count=args.buoys,
+        sink_count=args.sinks,
+        duration_s=args.duration,
+        seed=args.seed,
+    )
+    testbed = Celestial(config)
+    experiment = DartExperiment(testbed, deployment=args.deployment,
+                                group_count=max(2, args.buoys // 5))
+    results = experiment.run()
+    low, high = results.latency_range_ms()
+    regions = results.mean_latency_by_region()
+    rows = [
+        ["readings sent", results.readings_sent],
+        ["results delivered", results.results_delivered],
+        ["mean latency [ms]", results.all_latencies().mean()],
+        ["min/max sink mean [ms]", f"{low:.1f} / {high:.1f}"],
+        ["West Pacific mean [ms]", regions["west_pacific"]],
+        ["Americas mean [ms]", regions["americas"]],
+        ["processing mean [ms]", results.processing_ms.mean()],
+    ]
+    print(render_table(["metric", "value"], rows,
+                       title=f"DART experiment ({args.deployment} deployment, {args.duration:.0f}s)"))
+    return 0
+
+
+def _cmd_handover(args: argparse.Namespace) -> int:
+    config = _load_configuration(args.config)
+    calculation = ConstellationCalculation(config)
+    analysis = analyze_handovers(calculation, args.station, args.duration, args.interval)
+    rows = [
+        ["handovers", analysis.handover_count],
+        ["handovers per minute", analysis.handover_rate_per_minute],
+        ["mean uplink duration [s]", analysis.mean_uplink_duration_s()],
+        ["coverage fraction", analysis.coverage_fraction],
+    ]
+    print(render_table(["metric", "value"], rows,
+                       title=f"Uplink handovers of {args.station} over {args.duration:.0f}s"))
+    return 0
+
+
+def _cmd_cost(args: argparse.Namespace) -> int:
+    comparison = cost_comparison(minutes=args.minutes)
+    rows = [[key, value] for key, value in comparison.items()]
+    print(render_table(["quantity", "value"], rows, title="Cost comparison (§4.2)"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser of the ``repro-celestial`` command."""
+    parser = argparse.ArgumentParser(prog="repro-celestial", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    validate = subparsers.add_parser("validate", help="validate a configuration file")
+    validate.add_argument("config")
+    validate.set_defaults(handler=_cmd_validate)
+
+    snapshot = subparsers.add_parser("snapshot", help="export a constellation snapshot")
+    snapshot.add_argument("config")
+    snapshot.add_argument("--time", type=float, default=0.0)
+    snapshot.add_argument("--output", default=None)
+    snapshot.add_argument("--geojson", action="store_true")
+    snapshot.add_argument("--no-links", action="store_true")
+    snapshot.add_argument("--pretty", action="store_true")
+    snapshot.set_defaults(handler=_cmd_snapshot)
+
+    meetup = subparsers.add_parser("meetup", help="run the §4 meetup experiment")
+    meetup.add_argument("--mode", choices=["satellite", "cloud"], default="satellite")
+    meetup.add_argument("--duration", type=float, default=60.0)
+    meetup.add_argument("--shells", choices=["all", "two-lowest", "lowest"], default="two-lowest")
+    meetup.add_argument("--packet-interval", type=float, default=0.1)
+    meetup.add_argument("--seed", type=int, default=0)
+    meetup.set_defaults(handler=_cmd_meetup)
+
+    dart = subparsers.add_parser("dart", help="run the §5 ocean alert experiment")
+    dart.add_argument("--deployment", choices=["central", "satellite"], default="central")
+    dart.add_argument("--buoys", type=int, default=20)
+    dart.add_argument("--sinks", type=int, default=40)
+    dart.add_argument("--duration", type=float, default=60.0)
+    dart.add_argument("--seed", type=int, default=0)
+    dart.set_defaults(handler=_cmd_dart)
+
+    handover = subparsers.add_parser("handover", help="analyse ground-station uplink handovers")
+    handover.add_argument("config")
+    handover.add_argument("--station", required=True)
+    handover.add_argument("--duration", type=float, default=600.0)
+    handover.add_argument("--interval", type=float, default=10.0)
+    handover.set_defaults(handler=_cmd_handover)
+
+    cost = subparsers.add_parser("cost", help="print the §4.2 cost comparison")
+    cost.add_argument("--minutes", type=float, default=15.0)
+    cost.set_defaults(handler=_cmd_cost)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

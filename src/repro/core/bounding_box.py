@@ -1,0 +1,92 @@
+"""Geographic bounding box used to limit which satellites are emulated.
+
+Satellites whose sub-satellite point lies outside the bounding box are
+suspended to free host resources; they are resumed when they re-enter
+(§3.3).  The box does not affect network path calculation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.orbits import constants
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """A latitude/longitude box on the Earth's surface.
+
+    Longitudes may wrap around the antimeridian: a box with
+    ``lon_min=170, lon_max=-170`` covers the 20-degree band crossing 180°.
+    """
+
+    lat_min: float
+    lat_max: float
+    lon_min: float
+    lon_max: float
+
+    def __post_init__(self):
+        if not -90.0 <= self.lat_min <= 90.0 or not -90.0 <= self.lat_max <= 90.0:
+            raise ValueError("latitudes must be within [-90, 90]")
+        if self.lat_min >= self.lat_max:
+            raise ValueError("lat_min must be below lat_max")
+        for lon in (self.lon_min, self.lon_max):
+            if not -180.0 <= lon <= 180.0:
+                raise ValueError("longitudes must be within [-180, 180]")
+
+    @classmethod
+    def whole_earth(cls) -> "BoundingBox":
+        """A box covering the entire Earth (no satellite is ever suspended)."""
+        return cls(-90.0, 90.0, -180.0, 180.0)
+
+    @property
+    def wraps_antimeridian(self) -> bool:
+        """Whether the box crosses the 180° meridian."""
+        return self.lon_min > self.lon_max
+
+    def contains(self, latitude_deg, longitude_deg):
+        """Whether points (scalar or arrays) are inside the box."""
+        latitude = np.asarray(latitude_deg, dtype=float)
+        longitude = np.asarray(longitude_deg, dtype=float)
+        lat_ok = (latitude >= self.lat_min) & (latitude <= self.lat_max)
+        if self.wraps_antimeridian:
+            lon_ok = (longitude >= self.lon_min) | (longitude <= self.lon_max)
+        else:
+            lon_ok = (longitude >= self.lon_min) & (longitude <= self.lon_max)
+        result = lat_ok & lon_ok
+        if np.ndim(result) == 0:
+            return bool(result)
+        return result
+
+    def area_fraction(self) -> float:
+        """Fraction of the Earth's surface area covered by the box."""
+        lat_band = math.sin(math.radians(self.lat_max)) - math.sin(math.radians(self.lat_min))
+        if self.wraps_antimeridian:
+            lon_extent = (self.lon_max + 360.0) - self.lon_min
+        else:
+            lon_extent = self.lon_max - self.lon_min
+        return (lat_band / 2.0) * (lon_extent / 360.0)
+
+    def area_km2(self) -> float:
+        """Approximate surface area of the box [km^2]."""
+        total = 4.0 * math.pi * constants.EARTH_RADIUS_MEAN_KM**2
+        return self.area_fraction() * total
+
+    def expanded(self, margin_deg: float) -> "BoundingBox":
+        """A copy of the box expanded by a margin on every side."""
+        if margin_deg < 0:
+            raise ValueError("margin must be non-negative")
+        lon_min = self.lon_min - margin_deg
+        lon_max = self.lon_max + margin_deg
+        if not self.wraps_antimeridian:
+            lon_min = max(-180.0, lon_min)
+            lon_max = min(180.0, lon_max)
+        return BoundingBox(
+            lat_min=max(-90.0, self.lat_min - margin_deg),
+            lat_max=min(90.0, self.lat_max + margin_deg),
+            lon_min=lon_min,
+            lon_max=lon_max,
+        )

@@ -1,0 +1,328 @@
+"""The Constellation Calculation component.
+
+This is the heart of Celestial (§3.1): it periodically updates the state of
+the satellite network — positions of satellites and ground stations, network
+link distances and delays, and shortest paths between nodes — based on the
+SILLEO-SCNS approach extended with SGP4 support.  The resulting machine and
+network parameters are handed to the Machine Managers without modification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Literal, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import Configuration
+from repro.orbits import Shell
+from repro.orbits.coordinates import ecef_to_geodetic, eci_to_ecef
+from repro.orbits.visibility import elevation_angle_deg, isl_line_of_sight
+from repro.topology import Link, LinkType, NetworkGraph, NodeIndex, ShortestPaths
+from repro.topology.isl import grid_plus_isl_pairs
+from repro.topology.linkparams import link_delay_ms
+
+
+@dataclass(frozen=True)
+class MachineId:
+    """Identity of one emulated machine (satellite or ground station)."""
+
+    shell: int
+    identifier: int
+    name: str
+
+    GROUND_SHELL = -1
+
+    @property
+    def is_ground_station(self) -> bool:
+        """Whether this machine is a ground station."""
+        return self.shell == self.GROUND_SHELL
+
+    @property
+    def is_satellite(self) -> bool:
+        """Whether this machine is a satellite server."""
+        return not self.is_ground_station
+
+
+@dataclass(frozen=True)
+class UplinkInfo:
+    """One usable ground-to-satellite link."""
+
+    shell: int
+    satellite: int
+    distance_km: float
+    delay_ms: float
+
+
+@dataclass
+class ConstellationState:
+    """Snapshot of the constellation network at one instant."""
+
+    time_s: float
+    gmst_rad: float
+    node_index: NodeIndex
+    graph: NetworkGraph
+    paths: ShortestPaths
+    satellite_positions_ecef: dict[int, np.ndarray]
+    satellite_latitudes: dict[int, np.ndarray]
+    satellite_longitudes: dict[int, np.ndarray]
+    active_satellites: dict[int, np.ndarray]
+    ground_positions_ecef: dict[str, np.ndarray]
+    uplinks: dict[str, list[UplinkInfo]] = field(default_factory=dict)
+    _extra_paths: dict[int, ShortestPaths] = field(default_factory=dict, repr=False)
+
+    # -- machine-level queries -------------------------------------------
+
+    def _paths_from(self, node_a: int, node_b: int) -> tuple[ShortestPaths, int, int]:
+        """Shortest-path table that contains one of the two nodes as a source.
+
+        The main table covers the configured path sources (by default the
+        ground stations).  Queries between two satellites — e.g. a state
+        migration between satellite servers — fall back to a lazily computed
+        and cached single-source Dijkstra run.
+        """
+        if self.paths.has_source(node_a):
+            return self.paths, node_a, node_b
+        if self.paths.has_source(node_b):
+            return self.paths, node_b, node_a
+        if node_a not in self._extra_paths:
+            self._extra_paths[node_a] = ShortestPaths(self.graph, sources=[node_a])
+        return self._extra_paths[node_a], node_a, node_b
+
+    def node_for(self, machine: MachineId) -> int:
+        """Flat node index of a machine."""
+        if machine.is_ground_station:
+            return self.node_index.ground_station(machine.name)
+        return self.node_index.satellite(machine.shell, machine.identifier)
+
+    def is_active(self, machine: MachineId) -> bool:
+        """Whether the machine is inside the bounding box (ground stations always are)."""
+        if machine.is_ground_station:
+            return True
+        return bool(self.active_satellites[machine.shell][machine.identifier])
+
+    def delay_ms(self, machine_a: MachineId, machine_b: MachineId) -> float:
+        """One-way shortest-path network delay between two machines [ms]."""
+        node_a, node_b = self.node_for(machine_a), self.node_for(machine_b)
+        if node_a == node_b:
+            return 0.0
+        paths, source, target = self._paths_from(node_a, node_b)
+        return paths.delay_ms(source, target)
+
+    def rtt_ms(self, machine_a: MachineId, machine_b: MachineId) -> float:
+        """Round-trip network delay between two machines [ms]."""
+        return 2.0 * self.delay_ms(machine_a, machine_b)
+
+    def reachable(self, machine_a: MachineId, machine_b: MachineId) -> bool:
+        """Whether a network path exists between the machines."""
+        return np.isfinite(self.delay_ms(machine_a, machine_b))
+
+    def path(self, machine_a: MachineId, machine_b: MachineId):
+        """Full path (hop node indices) between two machines."""
+        node_a, node_b = self.node_for(machine_a), self.node_for(machine_b)
+        paths, source, target = self._paths_from(node_a, node_b)
+        return paths.path(source, target)
+
+    def bandwidth_kbps(self, machine_a: MachineId, machine_b: MachineId) -> float:
+        """Bottleneck bandwidth along the shortest path [kbps] (0 if unreachable)."""
+        result = self.path(machine_a, machine_b)
+        if not result.reachable or len(result.hops) < 2:
+            return 0.0
+        bandwidths = []
+        for hop_a, hop_b in zip(result.hops, result.hops[1:]):
+            link = self.graph.link_between(hop_a, hop_b)
+            if link is not None:
+                bandwidths.append(link.bandwidth_kbps)
+        return min(bandwidths) if bandwidths else 0.0
+
+    def uplinks_of(self, ground_station: str) -> list[UplinkInfo]:
+        """Usable uplinks of a ground station, nearest first."""
+        return sorted(self.uplinks.get(ground_station, []), key=lambda u: u.distance_km)
+
+    def satellite_position_geodetic(self, shell: int, identifier: int) -> tuple[float, float]:
+        """Sub-satellite latitude/longitude of a satellite [degrees]."""
+        return (
+            float(self.satellite_latitudes[shell][identifier]),
+            float(self.satellite_longitudes[shell][identifier]),
+        )
+
+    def active_count(self) -> int:
+        """Number of satellites currently inside the bounding box."""
+        return int(sum(np.count_nonzero(mask) for mask in self.active_satellites.values()))
+
+
+class ConstellationCalculation:
+    """Computes constellation snapshots for a configuration."""
+
+    def __init__(
+        self,
+        config: Configuration,
+        path_sources: Literal["ground_stations", "all"] = "ground_stations",
+    ):
+        self.config = config
+        self.path_sources = path_sources
+        self.shells: list[Shell] = [
+            Shell(
+                shell_config.geometry,
+                shell_index=index,
+                propagator=shell_config.propagator,
+            )
+            for index, shell_config in enumerate(config.shells)
+        ]
+        self.node_index = NodeIndex(
+            shell_sizes=config.shell_sizes,
+            ground_station_names=config.ground_station_names,
+        )
+        self._isl_pairs = [
+            np.array(grid_plus_isl_pairs(shell_config.geometry), dtype=int).reshape(-1, 2)
+            for shell_config in config.shells
+        ]
+        self._ground_positions = {
+            gst.name: gst.station.position_ecef for gst in config.ground_stations
+        }
+
+    # -- machine identities -------------------------------------------------
+
+    def satellite(self, shell: int, identifier: int) -> MachineId:
+        """MachineId of a satellite server."""
+        if not 0 <= shell < len(self.shells):
+            raise IndexError(f"shell {shell} out of range")
+        if not 0 <= identifier < len(self.shells[shell]):
+            raise IndexError(f"satellite {identifier} out of range for shell {shell}")
+        return MachineId(shell, identifier, f"{identifier}.{shell}.celestial")
+
+    def ground_station(self, name: str) -> MachineId:
+        """MachineId of a ground-station server."""
+        position = self.config.ground_station_names.index(name)
+        return MachineId(MachineId.GROUND_SHELL, position, name)
+
+    def machines(self) -> Iterator[MachineId]:
+        """All machines of the configuration (satellites then ground stations)."""
+        for shell_index, shell in enumerate(self.shells):
+            for satellite in shell:
+                yield self.satellite(shell_index, satellite.identifier)
+        for name in self.config.ground_station_names:
+            yield self.ground_station(name)
+
+    # -- state computation ----------------------------------------------------
+
+    def state_at(
+        self, time_s: float, path_method: Literal["dijkstra", "floyd-warshall"] = "dijkstra"
+    ) -> ConstellationState:
+        """Compute the full constellation state at a simulation time."""
+        config = self.config
+        gmst = config.epoch.gmst_at(time_s)
+        graph = NetworkGraph(self.node_index)
+
+        satellite_positions: dict[int, np.ndarray] = {}
+        latitudes: dict[int, np.ndarray] = {}
+        longitudes: dict[int, np.ndarray] = {}
+        active: dict[int, np.ndarray] = {}
+
+        for shell_index, shell in enumerate(self.shells):
+            shell_config = config.shells[shell_index]
+            positions_ecef = eci_to_ecef(shell.positions_eci(time_s), gmst)
+            satellite_positions[shell_index] = positions_ecef
+            lat, lon, _ = ecef_to_geodetic(positions_ecef)
+            latitudes[shell_index] = lat
+            longitudes[shell_index] = lon
+            if config.bounding_box is None:
+                active[shell_index] = np.ones(len(shell), dtype=bool)
+            else:
+                active[shell_index] = np.asarray(
+                    config.bounding_box.contains(lat, lon), dtype=bool
+                )
+
+            # Inter-satellite links (+GRID) with line-of-sight check.
+            pairs = self._isl_pairs[shell_index]
+            if pairs.size:
+                endpoint_a = positions_ecef[pairs[:, 0]]
+                endpoint_b = positions_ecef[pairs[:, 1]]
+                distances = np.linalg.norm(endpoint_a - endpoint_b, axis=1)
+                clear = isl_line_of_sight(
+                    endpoint_a,
+                    endpoint_b,
+                    shell_config.network.atmosphere_grazing_altitude_km,
+                )
+                delays = link_delay_ms(distances)
+                for (sat_a, sat_b), distance, delay, visible in zip(
+                    pairs, distances, delays, clear
+                ):
+                    if not visible:
+                        continue
+                    graph.add_link(
+                        Link(
+                            node_a=self.node_index.satellite(shell_index, int(sat_a)),
+                            node_b=self.node_index.satellite(shell_index, int(sat_b)),
+                            distance_km=float(distance),
+                            delay_ms=float(delay),
+                            bandwidth_kbps=shell_config.network.isl_bandwidth_kbps,
+                            link_type=LinkType.ISL,
+                        )
+                    )
+
+        # Ground-station uplinks.
+        uplinks: dict[str, list[UplinkInfo]] = {name: [] for name in config.ground_station_names}
+        for gst_config in config.ground_stations:
+            gst_position = self._ground_positions[gst_config.name]
+            gst_node = self.node_index.ground_station(gst_config.name)
+            for shell_index, shell_config in enumerate(config.shells):
+                min_elevation = (
+                    gst_config.min_elevation_deg
+                    if gst_config.min_elevation_deg is not None
+                    else shell_config.network.min_elevation_deg
+                )
+                positions = satellite_positions[shell_index]
+                elevations = elevation_angle_deg(gst_position, positions)
+                visible = np.nonzero(elevations >= min_elevation)[0]
+                if visible.size == 0:
+                    continue
+                distances = np.linalg.norm(positions[visible] - gst_position, axis=1)
+                delays = link_delay_ms(distances)
+                bandwidth = (
+                    gst_config.uplink_bandwidth_kbps
+                    if gst_config.uplink_bandwidth_kbps is not None
+                    else shell_config.network.uplink_bandwidth_kbps
+                )
+                for satellite, distance, delay in zip(visible, distances, np.atleast_1d(delays)):
+                    graph.add_link(
+                        Link(
+                            node_a=gst_node,
+                            node_b=self.node_index.satellite(shell_index, int(satellite)),
+                            distance_km=float(distance),
+                            delay_ms=float(delay),
+                            bandwidth_kbps=bandwidth,
+                            link_type=LinkType.UPLINK,
+                        )
+                    )
+                    uplinks[gst_config.name].append(
+                        UplinkInfo(
+                            shell=shell_index,
+                            satellite=int(satellite),
+                            distance_km=float(distance),
+                            delay_ms=float(delay),
+                        )
+                    )
+
+        sources = self._path_sources()
+        paths = ShortestPaths(graph, sources=sources, method=path_method)
+        return ConstellationState(
+            time_s=time_s,
+            gmst_rad=gmst,
+            node_index=self.node_index,
+            graph=graph,
+            paths=paths,
+            satellite_positions_ecef=satellite_positions,
+            satellite_latitudes=latitudes,
+            satellite_longitudes=longitudes,
+            active_satellites=active,
+            ground_positions_ecef=dict(self._ground_positions),
+            uplinks=uplinks,
+        )
+
+    def _path_sources(self) -> Optional[Sequence[int]]:
+        if self.path_sources == "all":
+            return None
+        sources = list(self.node_index.ground_station_indices())
+        # Without ground stations fall back to all-pairs so queries still work.
+        return sources if sources else None

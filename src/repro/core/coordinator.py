@@ -1,0 +1,136 @@
+"""The Celestial coordinator.
+
+The coordinator computes satellite orbital paths and networking
+characteristics and sends this information to the Celestial hosts, which
+update machines and network links accordingly (§3, Fig. 2).  In this
+reproduction the coordinator additionally creates microVMs lazily: a
+satellite server is instantiated on a host the first time it enters the
+bounding box, mirroring how Celestial only expends host resources on
+emulated (in-box) satellites.
+"""
+
+from __future__ import annotations
+
+import time as wallclock
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.config import Configuration
+from repro.core.constellation import ConstellationCalculation, ConstellationState, MachineId
+from repro.core.database import ConstellationDatabase
+from repro.core.machine_manager import MachineManager
+from repro.net.network import VirtualNetwork
+from repro.sim import Simulation
+
+
+@dataclass
+class UpdateStats:
+    """Bookkeeping about coordinator updates (used by the <1 s update claim)."""
+
+    count: int = 0
+    wallclock_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def mean_wallclock_s(self) -> float:
+        """Mean wall-clock duration of one constellation update."""
+        if not self.wallclock_seconds:
+            return 0.0
+        return sum(self.wallclock_seconds) / len(self.wallclock_seconds)
+
+    @property
+    def max_wallclock_s(self) -> float:
+        """Longest wall-clock duration of one constellation update."""
+        return max(self.wallclock_seconds, default=0.0)
+
+
+class Coordinator:
+    """Drives periodic constellation updates and distributes them to hosts."""
+
+    def __init__(
+        self,
+        config: Configuration,
+        calculation: ConstellationCalculation,
+        database: ConstellationDatabase,
+        managers: list[MachineManager],
+        network: Optional[VirtualNetwork] = None,
+    ):
+        self.config = config
+        self.calculation = calculation
+        self.database = database
+        self.managers = managers
+        self.network = network
+        self.stats = UpdateStats()
+        self._machine_manager_of: dict[str, MachineManager] = {}
+
+    # -- machine bookkeeping -------------------------------------------------
+
+    def manager_for(self, machine: MachineId) -> MachineManager:
+        """The machine manager hosting a machine."""
+        if machine.name not in self._machine_manager_of:
+            raise KeyError(f"machine {machine.name!r} has not been created")
+        return self._machine_manager_of[machine.name]
+
+    def has_machine(self, machine: MachineId) -> bool:
+        """Whether a microVM exists for the machine."""
+        return machine.name in self._machine_manager_of
+
+    def _least_loaded_manager(self) -> MachineManager:
+        return min(
+            self.managers,
+            key=lambda manager: manager.host.reserved_memory_mib(),
+        )
+
+    def create_machine(
+        self, machine: MachineId, now_s: float, boot: bool = True
+    ) -> MachineManager:
+        """Create (and optionally boot) a microVM for a machine."""
+        if self.has_machine(machine):
+            return self.manager_for(machine)
+        if machine.is_ground_station:
+            compute = self.config.ground_station_config(machine.name).compute
+        else:
+            compute = self.config.shells[machine.shell].compute
+        manager = self._least_loaded_manager()
+        manager.create_machine(machine, compute)
+        if boot:
+            manager.boot(machine, now_s)
+        self._machine_manager_of[machine.name] = manager
+        return manager
+
+    def create_ground_stations(self, now_s: float) -> None:
+        """Create and boot the microVMs of all configured ground stations."""
+        for name in self.config.ground_station_names:
+            self.create_machine(self.calculation.ground_station(name), now_s)
+
+    def _ensure_active_satellites(self, state: ConstellationState, now_s: float) -> None:
+        for shell_index, active in state.active_satellites.items():
+            for identifier in active.nonzero()[0]:
+                machine = self.calculation.satellite(shell_index, int(identifier))
+                if not self.has_machine(machine):
+                    self.create_machine(machine, now_s)
+
+    # -- updates ---------------------------------------------------------------
+
+    def update(self, now_s: float) -> ConstellationState:
+        """Run one constellation update and distribute it to all hosts."""
+        started = wallclock.perf_counter()
+        state = self.calculation.state_at(now_s)
+        self.database.set_state(state)
+        self._ensure_active_satellites(state, now_s)
+        for manager in self.managers:
+            manager.apply_state(state, now_s)
+        if self.network is not None:
+            self.network.mark_updated()
+        self.stats.count += 1
+        self.stats.wallclock_seconds.append(wallclock.perf_counter() - started)
+        return state
+
+    def run_updates(self, sim: Simulation, duration_s: Optional[float] = None):
+        """Simulation process running updates at the configured interval."""
+        end = duration_s if duration_s is not None else self.config.duration_s
+        while True:
+            self.update(sim.now)
+            next_update = sim.now + self.config.update_interval_s
+            if next_update > end:
+                return
+            yield sim.timeout(self.config.update_interval_s)

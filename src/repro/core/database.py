@@ -1,0 +1,149 @@
+"""Central constellation database on the coordinator.
+
+The Constellation Calculation writes its results into a central database;
+Celestial hosts serve this information to the emulated machines through the
+HTTP info API (§3.2).  The database also acts as the rule provider for the
+virtual network: the delay/bandwidth installed for a machine pair is derived
+from the latest published state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.constellation import ConstellationState, MachineId
+from repro.net.network import PairRule
+
+
+class ConstellationDatabase:
+    """Holds the most recent constellation state and answers queries about it."""
+
+    def __init__(self):
+        self._state: Optional[ConstellationState] = None
+        self.epoch = 0
+        self.updated_at_s: Optional[float] = None
+        self._rule_cache: dict[tuple[str, str], PairRule] = {}
+
+    # -- updates -----------------------------------------------------------
+
+    def set_state(self, state: ConstellationState) -> None:
+        """Publish a new constellation state (called by the coordinator)."""
+        self._state = state
+        self.epoch += 1
+        self.updated_at_s = state.time_s
+        self._rule_cache.clear()
+
+    @property
+    def state(self) -> ConstellationState:
+        """The latest published state."""
+        if self._state is None:
+            raise RuntimeError("no constellation state has been published yet")
+        return self._state
+
+    @property
+    def has_state(self) -> bool:
+        """Whether at least one state has been published."""
+        return self._state is not None
+
+    # -- virtual-network rule provider ---------------------------------------
+
+    def pair_rule(self, source: MachineId, destination: MachineId) -> PairRule:
+        """Delay/bandwidth rule currently installed for a machine pair."""
+        key = (source.name, destination.name)
+        if key in self._rule_cache:
+            return self._rule_cache[key]
+        state = self.state
+        delay = state.delay_ms(source, destination)
+        reachable = bool(np.isfinite(delay))
+        bandwidth = state.bandwidth_kbps(source, destination) if reachable else None
+        if bandwidth is not None and bandwidth <= 0:
+            bandwidth = None
+        rule = PairRule(
+            delay_ms=delay if reachable else 0.0,
+            bandwidth_kbps=bandwidth,
+            reachable=reachable,
+        )
+        self._rule_cache[key] = rule
+        return rule
+
+    # -- info-API queries ----------------------------------------------------
+
+    def constellation_info(self) -> dict:
+        """Summary of the constellation (served at ``/info``)."""
+        state = self.state
+        return {
+            "time_s": state.time_s,
+            "epoch": self.epoch,
+            "shells": len(state.satellite_positions_ecef),
+            "satellites": int(state.node_index.satellite_count),
+            "ground_stations": len(state.ground_positions_ecef),
+            "active_satellites": state.active_count(),
+            "links": state.graph.total_links(),
+        }
+
+    def shell_info(self, shell: int) -> dict:
+        """Information about one shell (served at ``/shell/<n>``)."""
+        state = self.state
+        if shell not in state.satellite_positions_ecef:
+            raise KeyError(f"unknown shell {shell}")
+        active = state.active_satellites[shell]
+        return {
+            "shell": shell,
+            "satellites": int(active.shape[0]),
+            "active": int(np.count_nonzero(active)),
+        }
+
+    def satellite_info(self, shell: int, identifier: int) -> dict:
+        """Information about one satellite (served at ``/sat/<shell>/<id>``)."""
+        state = self.state
+        if shell not in state.satellite_positions_ecef:
+            raise KeyError(f"unknown shell {shell}")
+        positions = state.satellite_positions_ecef[shell]
+        if not 0 <= identifier < positions.shape[0]:
+            raise KeyError(f"unknown satellite {identifier} in shell {shell}")
+        latitude, longitude = state.satellite_position_geodetic(shell, identifier)
+        return {
+            "shell": shell,
+            "identifier": identifier,
+            "name": f"{identifier}.{shell}.celestial",
+            "position_ecef_km": [float(x) for x in positions[identifier]],
+            "latitude_deg": latitude,
+            "longitude_deg": longitude,
+            "active": bool(state.active_satellites[shell][identifier]),
+        }
+
+    def ground_station_info(self, name: str) -> dict:
+        """Information about one ground station (served at ``/gst/<name>``)."""
+        state = self.state
+        if name not in state.ground_positions_ecef:
+            raise KeyError(f"unknown ground station {name!r}")
+        uplinks = state.uplinks_of(name)
+        return {
+            "name": name,
+            "position_ecef_km": [float(x) for x in state.ground_positions_ecef[name]],
+            "uplinks": [
+                {
+                    "shell": uplink.shell,
+                    "satellite": uplink.satellite,
+                    "distance_km": uplink.distance_km,
+                    "delay_ms": uplink.delay_ms,
+                }
+                for uplink in uplinks
+            ],
+        }
+
+    def path_info(self, source: MachineId, destination: MachineId) -> dict:
+        """Path information between two machines (served at ``/path/<a>/<b>``)."""
+        state = self.state
+        result = state.path(source, destination)
+        return {
+            "source": source.name,
+            "destination": destination.name,
+            "reachable": result.reachable,
+            "delay_ms": result.delay_ms if result.reachable else None,
+            "rtt_ms": result.rtt_ms if result.reachable else None,
+            "hops": [state.node_index.describe(hop) for hop in result.hops],
+            "bandwidth_kbps": state.bandwidth_kbps(source, destination),
+        }

@@ -1,0 +1,137 @@
+"""The per-host Machine Manager.
+
+Each Celestial host runs a Machine Manager that creates and boots the
+microVMs assigned to it, suspends/resumes them when they leave/enter the
+bounding box, applies machine parameter changes at runtime (fault injection,
+CPU quotas) and reports host resource usage (§3, Fig. 2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import ComputeParams
+from repro.core.constellation import ConstellationState, MachineId
+from repro.hosts import Host
+from repro.microvm import (
+    KernelImage,
+    MachineResources,
+    MachineState,
+    MicroVM,
+    RootFilesystemImage,
+)
+
+
+class MachineManager:
+    """Manages the microVMs of one host."""
+
+    def __init__(self, host: Host, rng: Optional[np.random.Generator] = None):
+        self.host = host
+        self._rng = rng if rng is not None else np.random.default_rng(host.index)
+        self._machine_ids: dict[str, MachineId] = {}
+        self.suspension_count = 0
+        self.resume_count = 0
+
+    # -- machine creation ---------------------------------------------------
+
+    def create_machine(
+        self,
+        machine_id: MachineId,
+        compute: ComputeParams,
+        kernel: Optional[KernelImage] = None,
+        rootfs: Optional[RootFilesystemImage] = None,
+    ) -> MicroVM:
+        """Create (but not boot) a microVM for a machine on this host."""
+        machine = MicroVM(
+            name=machine_id.name,
+            resources=MachineResources(
+                vcpu_count=compute.vcpu_count,
+                memory_mib=compute.memory_mib,
+                disk_mib=compute.disk_mib,
+            ),
+            kernel=kernel,
+            rootfs=rootfs,
+            rng=np.random.default_rng(self._rng.integers(0, 2**63)),
+            active_cpu_fraction=compute.idle_cpu_fraction,
+        )
+        machine.cpu_quota.set_quota(compute.cpu_quota)
+        self.host.place(machine)
+        self._machine_ids[machine_id.name] = machine_id
+        return machine
+
+    def has_machine(self, machine_id: MachineId) -> bool:
+        """Whether this manager hosts the machine."""
+        return machine_id.name in self.host.machines
+
+    def machine(self, machine_id: MachineId) -> MicroVM:
+        """The microVM of a machine managed by this host."""
+        return self.host.machine(machine_id.name)
+
+    def machine_ids(self) -> list[MachineId]:
+        """Identities of all machines managed by this host."""
+        return list(self._machine_ids.values())
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def boot(self, machine_id: MachineId, now_s: float) -> float:
+        """Boot a created machine; returns the boot-finished time."""
+        return self.machine(machine_id).boot(now_s)
+
+    def boot_all(self, now_s: float) -> float:
+        """Boot every created-but-not-booted machine; returns the last finish time."""
+        finished = now_s
+        for machine in self.host.machines.values():
+            if machine.state is MachineState.CREATED:
+                finished = max(finished, machine.boot(now_s))
+        return finished
+
+    def apply_state(self, state: ConstellationState, now_s: float) -> None:
+        """Suspend/resume local satellites according to the bounding box."""
+        for name, machine_id in self._machine_ids.items():
+            if machine_id.is_ground_station:
+                continue
+            machine = self.host.machines.get(name)
+            if machine is None:
+                continue
+            active = state.is_active(machine_id)
+            if machine.state is MachineState.RUNNING and not active:
+                machine.suspend(now_s)
+                self.suspension_count += 1
+            elif machine.state is MachineState.SUSPENDED and active:
+                machine.resume(now_s)
+                self.resume_count += 1
+
+    def is_running_at(self, machine_id: MachineId, now_s: float) -> bool:
+        """Whether a machine is running (boot finished, not suspended) at a time."""
+        machine = self.host.machines.get(machine_id.name)
+        if machine is None:
+            return False
+        return machine.state_at(now_s) is MachineState.RUNNING
+
+    # -- runtime machine control (fault injection API) -------------------------
+
+    def stop_machine(self, machine_id: MachineId, now_s: float) -> None:
+        """Terminate a machine (e.g. modelling a radiation-induced shutdown)."""
+        self.machine(machine_id).stop(now_s)
+
+    def reboot_machine(self, machine_id: MachineId, now_s: float) -> float:
+        """Reboot a machine; returns the time it is running again."""
+        return self.machine(machine_id).reboot(now_s)
+
+    def set_cpu_quota(self, machine_id: MachineId, quota_fraction: float) -> None:
+        """Change a machine's CPU quota at runtime."""
+        self.machine(machine_id).cpu_quota.set_quota(quota_fraction)
+
+    def set_busy_fraction(self, machine_id: MachineId, fraction: float) -> None:
+        """Report workload CPU usage of a machine for host accounting."""
+        self.host.set_busy_fraction(machine_id.name, fraction)
+
+    # -- accounting --------------------------------------------------------------
+
+    def sample_usage(self, now_s: float, setup_phase: bool = False, applying_update: bool = False):
+        """Record a host resource usage sample."""
+        return self.host.sample_usage(
+            now_s, setup_phase=setup_phase, applying_update=applying_update, rng=self._rng
+        )

@@ -1,0 +1,156 @@
+"""Configuration validation and host resource estimation.
+
+Celestial helps the user size their bounding box: it estimates the host
+resources required given per-microVM resources, satellite density and
+bounding-box area (§3.3; in the §4 experiment Celestial estimates 137
+required CPU cores).  The estimate here samples the constellation over one
+orbital period, counts how many satellites are simultaneously inside the
+bounding box, and adds a safety margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.bounding_box import BoundingBox
+from repro.core.config import Configuration
+from repro.orbits import Shell
+from repro.orbits.coordinates import ecef_to_geodetic, eci_to_ecef
+
+#: Safety margin applied to the peak number of in-box satellites.
+SAFETY_MARGIN = 1.2
+#: Number of constellation snapshots sampled over one orbital period.
+ESTIMATE_SAMPLES = 12
+
+
+@dataclass
+class ResourceEstimate:
+    """Estimated host resources required for an emulation run."""
+
+    satellites_in_box_per_shell: list[int]
+    ground_station_count: int
+    required_cores: float
+    required_memory_mib: float
+    available_cores: int
+    available_memory_mib: int
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def satellites_in_box(self) -> int:
+        """Peak number of satellites expected inside the bounding box."""
+        return sum(self.satellites_in_box_per_shell)
+
+    @property
+    def cores_sufficient(self) -> bool:
+        """Whether the hosts provide the estimated CPU cores."""
+        return self.available_cores >= self.required_cores
+
+    @property
+    def memory_sufficient(self) -> bool:
+        """Whether the hosts provide the estimated memory."""
+        return self.available_memory_mib >= self.required_memory_mib
+
+    @property
+    def overprovisioning_factor(self) -> float:
+        """Ratio of required to available cores (>1 means over-provisioned)."""
+        return self.required_cores / self.available_cores if self.available_cores else float("inf")
+
+
+def _peak_satellites_in_box(shell: Shell, box: BoundingBox, epoch, period_s: float) -> int:
+    peak = 0
+    for sample_time in np.linspace(0.0, period_s, ESTIMATE_SAMPLES):
+        gmst = epoch.gmst_at(float(sample_time))
+        positions = shell.positions_eci(float(sample_time))
+        lat, lon, _ = ecef_to_geodetic(eci_to_ecef(positions, gmst))
+        in_box = int(np.count_nonzero(box.contains(lat, lon)))
+        peak = max(peak, in_box)
+    return peak
+
+
+def estimate_resources(config: Configuration) -> ResourceEstimate:
+    """Estimate required cores/memory for a configuration.
+
+    With no bounding box, every satellite is emulated at all times.
+    """
+    box = config.bounding_box
+    per_shell: list[int] = []
+    required_cores = 0.0
+    required_memory = 0.0
+    for shell_index, shell_config in enumerate(config.shells):
+        geometry = shell_config.geometry
+        if box is None:
+            expected = geometry.total_satellites
+        else:
+            shell = Shell(geometry, shell_index=shell_index, propagator="kepler_j2")
+            peak = _peak_satellites_in_box(shell, box, config.epoch, geometry.period_s)
+            expected = min(
+                geometry.total_satellites, int(np.ceil(peak * SAFETY_MARGIN))
+            )
+        per_shell.append(expected)
+        required_cores += expected * shell_config.compute.vcpu_count
+        required_memory += expected * shell_config.compute.memory_mib
+    for gst in config.ground_stations:
+        required_cores += gst.compute.vcpu_count
+        required_memory += gst.compute.memory_mib
+
+    warnings: list[str] = []
+    estimate = ResourceEstimate(
+        satellites_in_box_per_shell=per_shell,
+        ground_station_count=len(config.ground_stations),
+        required_cores=required_cores,
+        required_memory_mib=required_memory,
+        available_cores=config.hosts.total_cores,
+        available_memory_mib=config.hosts.total_memory_mib,
+        warnings=warnings,
+    )
+    if not estimate.memory_sufficient:
+        warnings.append(
+            "hosts do not provide enough memory for all booted microVMs: "
+            f"{estimate.required_memory_mib:.0f} MiB required, "
+            f"{estimate.available_memory_mib} MiB available"
+        )
+    if not estimate.cores_sufficient:
+        warnings.append(
+            "hosts provide fewer CPU cores than allocated vCPUs "
+            f"({estimate.required_cores:.0f} required, {estimate.available_cores} available); "
+            "relying on over-provisioning"
+        )
+    return estimate
+
+
+def validate_configuration(config: Configuration) -> list[str]:
+    """Validate a configuration; returns a list of human-readable warnings.
+
+    Hard inconsistencies raise :class:`ConfigurationError` during
+    construction of :class:`Configuration`; this function adds resource-fit
+    warnings (memory is a hard limit, CPU may be over-provisioned §4.1) and
+    sanity checks that require the constellation geometry.
+    """
+    warnings = list(estimate_resources(config).warnings)
+    for gst in config.ground_stations:
+        min_elevation = (
+            gst.min_elevation_deg
+            if gst.min_elevation_deg is not None
+            else min(shell.network.min_elevation_deg for shell in config.shells)
+        )
+        if min_elevation >= 85.0:
+            warnings.append(
+                f"ground station {gst.name!r} requires {min_elevation} degree elevation; "
+                "it will almost never see a satellite"
+            )
+        max_inclination = max(
+            shell.geometry.inclination_deg for shell in config.shells
+        )
+        reachable_latitude = min(90.0, max_inclination + 15.0)
+        if abs(gst.station.latitude_deg) > reachable_latitude:
+            warnings.append(
+                f"ground station {gst.name!r} lies at latitude "
+                f"{gst.station.latitude_deg}, beyond the coverage of all shells"
+            )
+    if config.update_interval_s > 10.0:
+        warnings.append(
+            "update interval above 10 s: satellite movement between updates will be coarse"
+        )
+    return warnings

@@ -1,0 +1,165 @@
+"""A Celestial host: a physical (cloud) server running microVMs.
+
+Hosts support over-provisioning of CPU (microVM vCPUs may exceed physical
+cores, §4.1) while memory is a hard constraint because every booted microVM
+keeps its full allocation reserved (§4.2).  The host also accounts for the
+Machine Manager's own overhead so the usage traces of Figs. 7-8 can be
+reproduced.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.hosts.resources import ResourceTrace, UsageSample
+from repro.microvm import MachineState, MicroVM, OverlayStore
+
+
+class HostError(RuntimeError):
+    """Raised when a host cannot accommodate a machine."""
+
+
+#: Machine-manager steady-state CPU overhead (paper: ~0.2% of the host).
+MACHINE_MANAGER_CPU_PERCENT = 0.2
+#: Extra machine-manager CPU cost while applying a constellation update.
+MACHINE_MANAGER_UPDATE_CPU_PERCENT = 1.5
+#: Machine-manager CPU burst during initial host/network setup.
+MACHINE_MANAGER_SETUP_CPU_PERCENT = 25.0
+#: Machine-manager memory overhead right after setup (paper: up to 4.5%).
+MACHINE_MANAGER_MEMORY_PERCENT_PEAK = 4.5
+MACHINE_MANAGER_MEMORY_PERCENT_STEADY = 3.0
+
+
+class Host:
+    """One emulation host with bounded memory and over-provisionable CPU."""
+
+    def __init__(
+        self,
+        index: int,
+        cpu_cores: int = 32,
+        memory_mib: int = 32 * 1024,
+        allow_memory_overcommit: bool = False,
+    ):
+        if cpu_cores <= 0 or memory_mib <= 0:
+            raise ValueError("host resources must be positive")
+        self.index = index
+        self.cpu_cores = cpu_cores
+        self.memory_mib = memory_mib
+        self.allow_memory_overcommit = allow_memory_overcommit
+        self.machines: dict[str, MicroVM] = {}
+        self.overlay_store = OverlayStore()
+        self.trace = ResourceTrace()
+        self._busy_fractions: dict[str, float] = {}
+
+    # -- placement ---------------------------------------------------------
+
+    def reserved_memory_mib(self) -> float:
+        """Memory reserved by all placed machines (booted or not)."""
+        return float(
+            sum(machine.resources.memory_mib for machine in self.machines.values())
+        )
+
+    def allocated_memory_mib(self) -> float:
+        """Memory held by booted (running or suspended) machines."""
+        return sum(machine.memory_footprint_mib() for machine in self.machines.values())
+
+    def allocated_vcpus(self) -> int:
+        """Total vCPUs of all placed machines (may exceed physical cores)."""
+        return sum(machine.resources.vcpu_count for machine in self.machines.values())
+
+    def can_place(self, machine: MicroVM) -> bool:
+        """Whether the machine's memory allocation fits on this host."""
+        if self.allow_memory_overcommit:
+            return True
+        prospective = self.reserved_memory_mib() + machine.resources.memory_mib
+        return prospective <= self.memory_mib
+
+    def place(self, machine: MicroVM) -> None:
+        """Place a machine on this host (it is not booted yet)."""
+        if machine.name in self.machines:
+            raise HostError(f"machine {machine.name!r} is already placed on host {self.index}")
+        if not self.can_place(machine):
+            raise HostError(
+                f"host {self.index} cannot fit machine {machine.name!r}: "
+                f"{self.reserved_memory_mib() + machine.resources.memory_mib:.0f} MiB "
+                f"needed, {self.memory_mib} MiB available"
+            )
+        self.machines[machine.name] = machine
+        self.overlay_store.create_overlay(machine.name, machine.rootfs)
+
+    def remove(self, machine_name: str) -> None:
+        """Remove a machine and its overlay from this host."""
+        self.machines.pop(machine_name, None)
+        self._busy_fractions.pop(machine_name, None)
+        self.overlay_store.remove_overlay(machine_name)
+
+    def machine(self, name: str) -> MicroVM:
+        """Look up a placed machine by name."""
+        if name not in self.machines:
+            raise HostError(f"machine {name!r} is not placed on host {self.index}")
+        return self.machines[name]
+
+    # -- workload accounting ------------------------------------------------
+
+    def set_busy_fraction(self, machine_name: str, fraction: float) -> None:
+        """Report how busy a machine's workload keeps its vCPUs (0..1)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("busy fraction must be in [0, 1]")
+        self.machine(machine_name)
+        self._busy_fractions[machine_name] = fraction
+
+    def booted_machine_count(self) -> int:
+        """Number of machines that have booted (running or suspended)."""
+        return sum(1 for machine in self.machines.values() if machine.is_booted)
+
+    def running_machine_count(self) -> int:
+        """Number of machines currently running."""
+        return sum(1 for machine in self.machines.values() if machine.is_running)
+
+    def cpu_cores_in_use(self) -> float:
+        """Host cores currently consumed by all microVMs."""
+        total = 0.0
+        for name, machine in self.machines.items():
+            total += machine.cpu_cores_in_use(self._busy_fractions.get(name))
+        return min(total, float(self.cpu_cores))
+
+    def microvm_cpu_percent(self) -> float:
+        """microVM CPU usage as a percentage of the host's cores."""
+        return 100.0 * self.cpu_cores_in_use() / self.cpu_cores
+
+    def microvm_memory_percent(self) -> float:
+        """microVM memory usage as a percentage of the host's memory."""
+        return 100.0 * self.allocated_memory_mib() / self.memory_mib
+
+    def sample_usage(
+        self,
+        now_s: float,
+        setup_phase: bool = False,
+        applying_update: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> UsageSample:
+        """Record and return one resource-usage sample for this host."""
+        rng = rng if rng is not None else np.random.default_rng(0)
+        if setup_phase:
+            manager_cpu = MACHINE_MANAGER_SETUP_CPU_PERCENT * (0.8 + 0.4 * rng.random())
+            manager_memory = MACHINE_MANAGER_MEMORY_PERCENT_PEAK
+        else:
+            manager_cpu = MACHINE_MANAGER_CPU_PERCENT * (0.5 + rng.random())
+            if applying_update:
+                manager_cpu += MACHINE_MANAGER_UPDATE_CPU_PERCENT * (0.5 + rng.random())
+            manager_memory = MACHINE_MANAGER_MEMORY_PERCENT_STEADY
+        booting = sum(
+            1 for machine in self.machines.values() if machine.state is MachineState.BOOTING
+        )
+        sample = UsageSample(
+            time_s=now_s,
+            machine_manager_cpu_percent=manager_cpu,
+            microvm_cpu_percent=self.microvm_cpu_percent() + 2.0 * booting,
+            machine_manager_memory_percent=manager_memory,
+            microvm_memory_percent=self.microvm_memory_percent(),
+            firecracker_processes=self.booted_machine_count(),
+        )
+        self.trace.record(sample)
+        return sample

@@ -1,0 +1,93 @@
+"""Resource usage traces for Celestial hosts (CPU, memory, process counts)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class UsageSample:
+    """One sample of host resource usage, as plotted in Figs. 7 and 8."""
+
+    time_s: float
+    machine_manager_cpu_percent: float
+    microvm_cpu_percent: float
+    machine_manager_memory_percent: float
+    microvm_memory_percent: float
+    firecracker_processes: int
+
+    @property
+    def total_cpu_percent(self) -> float:
+        """Combined machine-manager and microVM CPU usage."""
+        return self.machine_manager_cpu_percent + self.microvm_cpu_percent
+
+    @property
+    def total_memory_percent(self) -> float:
+        """Combined machine-manager and microVM memory usage."""
+        return self.machine_manager_memory_percent + self.microvm_memory_percent
+
+
+class ResourceTrace:
+    """A time series of host resource usage samples."""
+
+    def __init__(self):
+        self._samples: list[UsageSample] = []
+
+    def record(self, sample: UsageSample) -> None:
+        """Append a sample (samples must be recorded in time order)."""
+        if self._samples and sample.time_s < self._samples[-1].time_s:
+            raise ValueError("samples must be recorded in non-decreasing time order")
+        self._samples.append(sample)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __iter__(self) -> Iterable[UsageSample]:
+        return iter(self._samples)
+
+    @property
+    def samples(self) -> list[UsageSample]:
+        """All recorded samples."""
+        return list(self._samples)
+
+    def times(self) -> np.ndarray:
+        """Sample timestamps [s]."""
+        return np.array([sample.time_s for sample in self._samples])
+
+    def cpu_percent(self) -> np.ndarray:
+        """Total CPU usage per sample [%]."""
+        return np.array([sample.total_cpu_percent for sample in self._samples])
+
+    def memory_percent(self) -> np.ndarray:
+        """Total memory usage per sample [%]."""
+        return np.array([sample.total_memory_percent for sample in self._samples])
+
+    def machine_manager_cpu_percent(self) -> np.ndarray:
+        """Machine-manager CPU usage per sample [%]."""
+        return np.array([s.machine_manager_cpu_percent for s in self._samples])
+
+    def microvm_memory_percent(self) -> np.ndarray:
+        """microVM memory usage per sample [%]."""
+        return np.array([s.microvm_memory_percent for s in self._samples])
+
+    def firecracker_processes(self) -> np.ndarray:
+        """Number of Firecracker processes per sample."""
+        return np.array([s.firecracker_processes for s in self._samples])
+
+    def peak_cpu_percent(self) -> float:
+        """Highest total CPU usage observed."""
+        return float(np.max(self.cpu_percent())) if self._samples else 0.0
+
+    def peak_memory_percent(self) -> float:
+        """Highest total memory usage observed."""
+        return float(np.max(self.memory_percent())) if self._samples else 0.0
+
+    def mean_cpu_percent(self, after_s: float = 0.0) -> float:
+        """Mean total CPU usage over samples at or after ``after_s``."""
+        values = [
+            sample.total_cpu_percent for sample in self._samples if sample.time_s >= after_s
+        ]
+        return float(np.mean(values)) if values else 0.0

@@ -1,0 +1,91 @@
+"""Placement of microVMs onto Celestial hosts.
+
+Celestial distributes microVMs across all of its hosts (§3.3).  The paper's
+experiments additionally pin all latency-measuring clients onto the same host
+so they can share a PTP clock (§4.1); the scheduler supports such affinity
+groups.  A more advanced scheduler (e.g. FirePlace, §6.1) could be plugged in
+behind the same interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.hosts.host import Host
+from repro.microvm import MicroVM
+
+
+class PlacementError(RuntimeError):
+    """Raised when machines cannot be placed on the available hosts."""
+
+
+@dataclass
+class MachinePlacement:
+    """Result of placing a set of machines on a set of hosts."""
+
+    host_of_machine: dict[str, int] = field(default_factory=dict)
+
+    def host_for(self, machine_name: str) -> int:
+        """Host index of a machine."""
+        if machine_name not in self.host_of_machine:
+            raise KeyError(f"machine {machine_name!r} has not been placed")
+        return self.host_of_machine[machine_name]
+
+    def machines_on(self, host_index: int) -> list[str]:
+        """Names of all machines placed on one host."""
+        return [name for name, host in self.host_of_machine.items() if host == host_index]
+
+    def colocated(self, machine_a: str, machine_b: str) -> bool:
+        """Whether two machines share a host."""
+        return self.host_for(machine_a) == self.host_for(machine_b)
+
+
+def place_machines(
+    machines: Sequence[MicroVM],
+    hosts: Sequence[Host],
+    affinity_groups: Optional[Iterable[Sequence[str]]] = None,
+) -> MachinePlacement:
+    """Place machines on hosts, least-loaded (by memory) first.
+
+    ``affinity_groups`` lists groups of machine names that must share a host
+    (e.g. all measurement clients).  Each group is placed first, on the host
+    with the most free memory.
+    """
+    if not hosts:
+        raise PlacementError("at least one host is required")
+    machine_by_name = {machine.name: machine for machine in machines}
+    if len(machine_by_name) != len(machines):
+        raise PlacementError("machine names must be unique")
+    placement = MachinePlacement()
+    remaining = dict(machine_by_name)
+
+    def free_memory(host: Host) -> float:
+        return host.memory_mib - host.reserved_memory_mib()
+
+    for group in affinity_groups or []:
+        group_machines = []
+        for name in group:
+            if name not in machine_by_name:
+                raise PlacementError(f"affinity group references unknown machine {name!r}")
+            if name in remaining:
+                group_machines.append(remaining.pop(name))
+        if not group_machines:
+            continue
+        target = max(hosts, key=free_memory)
+        for machine in group_machines:
+            target.place(machine)
+            placement.host_of_machine[machine.name] = target.index
+
+    for machine in remaining.values():
+        candidates = sorted(hosts, key=free_memory, reverse=True)
+        for host in candidates:
+            if host.can_place(machine):
+                host.place(machine)
+                placement.host_of_machine[machine.name] = host.index
+                break
+        else:
+            raise PlacementError(
+                f"no host has enough free memory for machine {machine.name!r}"
+            )
+    return placement

@@ -1,0 +1,46 @@
+"""Guest kernel images for microVMs.
+
+Firecracker boots an uncompressed Linux kernel supplied by the user, giving
+them control over kernel features (§3.2).  The kernel model only carries the
+metadata relevant for the emulation: identity, size and boot arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class KernelImage:
+    """An immutable guest kernel image."""
+
+    name: str = "vmlinux-5.12"
+    version: str = "5.12"
+    size_mib: float = 24.0
+    boot_args: tuple[str, ...] = field(
+        default_factory=lambda: (
+            "console=ttyS0",
+            "noapic",
+            "reboot=k",
+            "panic=1",
+            "pci=off",
+        )
+    )
+
+    def __post_init__(self):
+        if self.size_mib <= 0:
+            raise ValueError("kernel size must be positive")
+
+    @property
+    def command_line(self) -> str:
+        """Kernel command line passed to the microVM."""
+        return " ".join(self.boot_args)
+
+    def with_args(self, *extra_args: str) -> "KernelImage":
+        """A copy of the kernel with additional boot arguments."""
+        return KernelImage(
+            name=self.name,
+            version=self.version,
+            size_mib=self.size_mib,
+            boot_args=self.boot_args + tuple(extra_args),
+        )

@@ -1,0 +1,79 @@
+"""Root filesystem images and the de-duplicating overlay store.
+
+All satellite servers in Celestial are identical, so hosts keep a single
+immutable base image and give each microVM a copy-on-write overlay, saving
+storage and improving performance (§3.3).  ``OverlayStore`` tracks the
+storage accounting of that scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RootFilesystemImage:
+    """An immutable root filesystem image shared by many microVMs."""
+
+    name: str = "rootfs.img"
+    size_mib: float = 350.0
+
+    def __post_init__(self):
+        if self.size_mib <= 0:
+            raise ValueError("root filesystem size must be positive")
+
+
+class OverlayStore:
+    """Tracks base images and per-machine overlays on one host."""
+
+    def __init__(self):
+        self._base_images: dict[str, RootFilesystemImage] = {}
+        self._overlays: dict[str, tuple[str, float]] = {}
+
+    def register_base(self, image: RootFilesystemImage) -> None:
+        """Register a base image (idempotent; stored only once)."""
+        self._base_images[image.name] = image
+
+    def create_overlay(
+        self, machine_name: str, base_image: RootFilesystemImage, overlay_mib: float = 4.0
+    ) -> None:
+        """Create a copy-on-write overlay for a machine on top of a base image."""
+        if overlay_mib < 0:
+            raise ValueError("overlay size must be non-negative")
+        if machine_name in self._overlays:
+            raise ValueError(f"machine {machine_name!r} already has an overlay")
+        self.register_base(base_image)
+        self._overlays[machine_name] = (base_image.name, overlay_mib)
+
+    def grow_overlay(self, machine_name: str, additional_mib: float) -> None:
+        """Grow a machine's overlay as it writes data."""
+        if machine_name not in self._overlays:
+            raise KeyError(f"unknown machine: {machine_name}")
+        base, size = self._overlays[machine_name]
+        self._overlays[machine_name] = (base, size + max(0.0, additional_mib))
+
+    def remove_overlay(self, machine_name: str) -> None:
+        """Drop a machine's overlay (e.g. after the machine is destroyed)."""
+        self._overlays.pop(machine_name, None)
+
+    @property
+    def machine_count(self) -> int:
+        """Number of machines with an overlay."""
+        return len(self._overlays)
+
+    def deduplicated_storage_mib(self) -> float:
+        """Total storage with base-image de-duplication (Celestial's scheme)."""
+        base_total = sum(image.size_mib for image in self._base_images.values())
+        overlay_total = sum(size for _, size in self._overlays.values())
+        return base_total + overlay_total
+
+    def naive_storage_mib(self) -> float:
+        """Storage a naive copy-per-machine scheme would need (for comparison)."""
+        total = 0.0
+        for base_name, overlay_mib in self._overlays.values():
+            total += self._base_images[base_name].size_mib + overlay_mib
+        return total
+
+    def savings_mib(self) -> float:
+        """Storage saved by de-duplication."""
+        return self.naive_storage_mib() - self.deduplicated_storage_mib()

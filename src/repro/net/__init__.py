@@ -1,0 +1,15 @@
+"""Virtual data plane: messages exchanged between emulated machines.
+
+Applications deployed on the testbed communicate through socket-like
+endpoints.  Each message travels over the emulated network: the end-to-end
+delay and bottleneck bandwidth installed by the Machine Managers for the
+machine pair apply, and traffic to or from machines that are suspended,
+stopped or failed is dropped — exactly the behaviour an application would
+observe against tc/netem-shaped Firecracker microVMs.
+"""
+
+from repro.net.packet import Message
+from repro.net.endpoint import NetworkEndpoint
+from repro.net.network import PairRule, VirtualNetwork
+
+__all__ = ["Message", "NetworkEndpoint", "PairRule", "VirtualNetwork"]

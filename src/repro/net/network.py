@@ -1,0 +1,175 @@
+"""The virtual network connecting all emulated machines.
+
+Celestial's Machine Managers install, per pair of machines, an end-to-end
+delay and bandwidth computed by the coordinator (§3.1).  ``VirtualNetwork``
+reproduces the observable result: each directed machine pair owns an
+:class:`~repro.netem.EmulatedLink` whose parameters are refreshed from the
+latest constellation state whenever the coordinator publishes an update.
+Links are materialised lazily — only pairs that actually exchange traffic
+allocate state, which keeps Starlink-scale configurations tractable while
+matching what applications can observe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.constellation import MachineId
+from repro.netem import EmulatedLink, NetemRule
+from repro.net.packet import Message
+from repro.sim import Simulation, Store
+
+
+@dataclass(frozen=True)
+class PairRule:
+    """Network rule for one directed machine pair, as installed by a manager."""
+
+    delay_ms: float
+    bandwidth_kbps: Optional[float]
+    reachable: bool
+
+
+#: Signature of the rule provider (normally the constellation database).
+RuleProvider = Callable[[MachineId, MachineId], PairRule]
+#: Signature of the "is this machine able to send/receive" check.
+RunningCheck = Callable[[MachineId], bool]
+
+
+class VirtualNetwork:
+    """Delivers messages between machine endpoints through emulated links."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        rule_provider: RuleProvider,
+        running_check: RunningCheck,
+        rng: Optional[np.random.Generator] = None,
+        base_jitter_ms: float = 0.0,
+    ):
+        self.sim = sim
+        self._rule_provider = rule_provider
+        self._running_check = running_check
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._base_jitter_ms = base_jitter_ms
+        self._links: dict[tuple[str, str], EmulatedLink] = {}
+        self._link_epoch: dict[tuple[str, str], int] = {}
+        self._epoch = 0
+        self._loss_overrides: dict[tuple[str, str], float] = {}
+        self._endpoints: dict[str, "Store"] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+
+    # -- control plane -------------------------------------------------------
+
+    def mark_updated(self) -> None:
+        """Invalidate cached link rules after a constellation update."""
+        self._epoch += 1
+
+    def set_loss_override(
+        self, source: MachineId, destination: MachineId, probability: float
+    ) -> None:
+        """Force a loss probability on one directed pair (fault injection)."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("loss probability must be in [0, 1]")
+        self._loss_overrides[(source.name, destination.name)] = probability
+        self._links.pop((source.name, destination.name), None)
+
+    def clear_loss_override(self, source: MachineId, destination: MachineId) -> None:
+        """Remove a previously-set loss override."""
+        self._loss_overrides.pop((source.name, destination.name), None)
+        self._links.pop((source.name, destination.name), None)
+
+    def _link_for(self, source: MachineId, destination: MachineId) -> EmulatedLink:
+        key = (source.name, destination.name)
+        rule = self._rule_provider(source, destination)
+        if key not in self._links:
+            loss = self._loss_overrides.get(key, 0.0)
+            netem_rule = NetemRule(
+                delay_ms=rule.delay_ms if rule.reachable else 0.0,
+                jitter_ms=self._base_jitter_ms,
+                distribution="normal" if self._base_jitter_ms > 0 else "none",
+                loss_probability=loss,
+            )
+            link = EmulatedLink(netem_rule, bandwidth_kbps=rule.bandwidth_kbps, rng=self._rng)
+            if not rule.reachable:
+                link.block()
+            self._links[key] = link
+            self._link_epoch[key] = self._epoch
+            return link
+        link = self._links[key]
+        if self._link_epoch[key] != self._epoch:
+            if rule.reachable:
+                link.update(rule.delay_ms, rule.bandwidth_kbps)
+            else:
+                link.block()
+            self._link_epoch[key] = self._epoch
+        return link
+
+    # -- endpoints -------------------------------------------------------------
+
+    def register_endpoint(self, machine: MachineId) -> Store:
+        """Create (or return) the inbox store for a machine."""
+        if machine.name not in self._endpoints:
+            self._endpoints[machine.name] = Store(self.sim)
+        return self._endpoints[machine.name]
+
+    def inbox(self, machine: MachineId) -> Store:
+        """Inbox store of a machine (must have been registered)."""
+        if machine.name not in self._endpoints:
+            raise KeyError(f"machine {machine.name!r} has no registered endpoint")
+        return self._endpoints[machine.name]
+
+    # -- data plane ---------------------------------------------------------------
+
+    def send(self, message: Message) -> bool:
+        """Send a message; returns True if at least one copy was put in flight.
+
+        Delivery happens asynchronously: the message appears in the
+        destination inbox after the emulated network delay.  Messages from or
+        to machines that are not running are dropped, as are messages to
+        machines without a registered endpoint.
+        """
+        self.messages_sent += 1
+        source, destination = message.source, message.destination
+        if not self._running_check(source) or not self._running_check(destination):
+            self.messages_dropped += 1
+            return False
+        if destination.name not in self._endpoints:
+            self.messages_dropped += 1
+            return False
+        link = self._link_for(source, destination)
+        deliveries = link.transmit(message.size_bytes, self.sim.now)
+        if not deliveries:
+            self.messages_dropped += 1
+            return False
+        for delivery in deliveries:
+            self._schedule_delivery(message, delivery)
+        return True
+
+    def _schedule_delivery(self, message: Message, delivery) -> None:
+        inbox = self._endpoints[message.destination.name]
+        delay = max(0.0, delivery.arrival_time_s - self.sim.now)
+
+        def deliver():
+            yield self.sim.timeout(delay)
+            if not self._running_check(message.destination):
+                self.messages_dropped += 1
+                return
+            delivered = Message(
+                source=message.source,
+                destination=message.destination,
+                size_bytes=message.size_bytes,
+                payload=message.payload,
+                sent_at_s=message.sent_at_s,
+                message_id=message.message_id,
+                corrupted=delivery.corrupted,
+                duplicate=delivery.duplicate,
+            )
+            inbox.put(delivered)
+            self.messages_delivered += 1
+
+        self.sim.process(deliver())

@@ -1,0 +1,29 @@
+"""Network emulation substrate: netem-like qdiscs, token-bucket rate limiting.
+
+The real Celestial shapes traffic between microVMs with Linux ``tc``,
+``tc-netem`` (delay, jitter, loss, duplication, corruption, reordering) and
+bandwidth limits (§3.1).  This package reproduces those mechanisms as pure
+models: given a packet and a send time they decide when (and whether, and in
+what state) the packet arrives.  The models are deliberately a superset of
+what the paper's experiments use — packet loss, duplication, corruption and
+reordering are the "advanced tc-netem features" the paper lists as future
+extensions (§6.5) and are exercised by the fault-injection tests.
+"""
+
+from repro.netem.qdisc import DeliveredPacket, NetemQdisc, NetemRule
+from repro.netem.tbf import TokenBucketFilter
+from repro.netem.link import EmulatedLink, UNREACHABLE_DELAY_MS
+from repro.netem.wireguard import WireGuardOverlay
+from repro.netem.weather import RainFadeModel, ThermalShutdownModel
+
+__all__ = [
+    "DeliveredPacket",
+    "EmulatedLink",
+    "NetemQdisc",
+    "NetemRule",
+    "RainFadeModel",
+    "ThermalShutdownModel",
+    "TokenBucketFilter",
+    "UNREACHABLE_DELAY_MS",
+    "WireGuardOverlay",
+]

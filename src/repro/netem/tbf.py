@@ -1,0 +1,80 @@
+"""Token-bucket filter (tbf) bandwidth shaping model.
+
+Celestial constrains the bandwidth of ISLs and ground links (e.g. 10 Gb/s
+ISLs in §4.1, 88 kb/s Iridium sensor links in §5.1).  The token bucket model
+mirrors the Linux ``tbf`` qdisc: traffic may burst up to the bucket size and
+is otherwise paced at the configured rate; packets that would overflow the
+bounded queue are dropped.
+"""
+
+from __future__ import annotations
+
+
+class TokenBucketFilter:
+    """A token-bucket shaper operating on packet sizes and timestamps."""
+
+    def __init__(
+        self,
+        rate_kbps: float,
+        burst_bytes: int = 32 * 1024,
+        queue_limit_bytes: int = 1024 * 1024,
+    ):
+        if rate_kbps <= 0:
+            raise ValueError("rate must be positive")
+        if burst_bytes <= 0 or queue_limit_bytes <= 0:
+            raise ValueError("burst and queue limit must be positive")
+        self.rate_kbps = rate_kbps
+        self.burst_bytes = burst_bytes
+        self.queue_limit_bytes = queue_limit_bytes
+        self._tokens = float(burst_bytes)
+        self._last_update_s = 0.0
+        self._queue_backlog_bytes = 0.0
+        self._backlog_clears_at_s = 0.0
+
+    @property
+    def rate_bytes_per_s(self) -> float:
+        """Shaping rate in bytes per second."""
+        return self.rate_kbps * 1000.0 / 8.0
+
+    def set_rate(self, rate_kbps: float) -> None:
+        """Update the shaping rate at runtime."""
+        if rate_kbps <= 0:
+            raise ValueError("rate must be positive")
+        self.rate_kbps = rate_kbps
+
+    def _refill(self, now_s: float) -> None:
+        elapsed = max(0.0, now_s - self._last_update_s)
+        self._tokens = min(
+            float(self.burst_bytes), self._tokens + elapsed * self.rate_bytes_per_s
+        )
+        if now_s >= self._backlog_clears_at_s:
+            self._queue_backlog_bytes = 0.0
+        else:
+            self._queue_backlog_bytes = (
+                (self._backlog_clears_at_s - now_s) * self.rate_bytes_per_s
+            )
+        self._last_update_s = now_s
+
+    def enqueue(self, size_bytes: int, now_s: float) -> float | None:
+        """Offer a packet to the shaper.
+
+        Returns the departure time in seconds, or ``None`` if the packet is
+        dropped because the queue limit is exceeded.
+        """
+        if size_bytes <= 0:
+            raise ValueError("packet size must be positive")
+        self._refill(now_s)
+        if self._tokens >= size_bytes and self._queue_backlog_bytes == 0.0:
+            self._tokens -= size_bytes
+            return now_s
+        if self._queue_backlog_bytes + size_bytes > self.queue_limit_bytes:
+            return None
+        self._queue_backlog_bytes += size_bytes
+        departure = max(now_s, self._backlog_clears_at_s) + size_bytes / self.rate_bytes_per_s
+        self._backlog_clears_at_s = departure
+        return departure
+
+    @property
+    def backlog_bytes(self) -> float:
+        """Bytes currently waiting in the shaping queue."""
+        return self._queue_backlog_bytes

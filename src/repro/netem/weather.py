@@ -1,0 +1,93 @@
+"""External factors on ground-to-satellite links: rain fade and dish overheating.
+
+The paper lists adverse weather as a factor future testbeds should emulate
+(§6.5): rain refracts radio waves and degrades Ku/Ka-band links
+(Safaai-Jazi et al.), and Starlink dishes enter thermal shutdown above 122 °F.
+This module provides simple, configurable models of both effects that map to
+netem parameters (loss probability, bandwidth reduction, outage) so they can
+be applied to ground-station uplinks via the fault-injection API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RainFadeModel:
+    """Empirical rain-fade model for Ku/Ka-band ground links.
+
+    Attenuation grows with rain rate and carrier frequency; this model uses
+    the common power-law form ``A = k * R^alpha`` (dB) with ITU-style
+    coefficients and maps attenuation to a packet-loss probability and a
+    usable-bandwidth fraction via the configured link margin.
+    """
+
+    frequency_ghz: float = 20.0
+    k_coefficient: float = 0.075
+    alpha_exponent: float = 1.1
+    link_margin_db: float = 6.0
+
+    def __post_init__(self):
+        if self.frequency_ghz <= 0 or self.k_coefficient <= 0 or self.alpha_exponent <= 0:
+            raise ValueError("model coefficients must be positive")
+        if self.link_margin_db <= 0:
+            raise ValueError("link margin must be positive")
+
+    def attenuation_db(self, rain_rate_mm_h: float) -> float:
+        """Specific attenuation [dB] at a given rain rate [mm/h]."""
+        if rain_rate_mm_h < 0:
+            raise ValueError("rain rate must be non-negative")
+        frequency_scale = self.frequency_ghz / 20.0
+        return self.k_coefficient * frequency_scale * rain_rate_mm_h**self.alpha_exponent
+
+    def loss_probability(self, rain_rate_mm_h: float) -> float:
+        """Packet-loss probability once attenuation eats into the link margin."""
+        attenuation = self.attenuation_db(rain_rate_mm_h)
+        if attenuation <= self.link_margin_db:
+            return 0.0
+        excess = attenuation - self.link_margin_db
+        return float(min(1.0, 1.0 - np.exp(-excess / 3.0)))
+
+    def bandwidth_fraction(self, rain_rate_mm_h: float) -> float:
+        """Fraction of the clear-sky bandwidth still usable under rain."""
+        attenuation = self.attenuation_db(rain_rate_mm_h)
+        return float(max(0.0, 1.0 - attenuation / (2.0 * self.link_margin_db)))
+
+    def is_outage(self, rain_rate_mm_h: float) -> bool:
+        """Whether the link is effectively unusable (loss close to one)."""
+        return self.loss_probability(rain_rate_mm_h) >= 0.95
+
+
+@dataclass
+class ThermalShutdownModel:
+    """Starlink-dish style thermal shutdown: outage above a temperature limit.
+
+    "Starlink dishes go into thermal shutdown once they hit 122° Fahrenheit"
+    (§6.5).  The model tracks the ambient temperature of a dish and reports
+    outage intervals; a cool-down hysteresis avoids rapid flapping.
+    """
+
+    shutdown_celsius: float = 50.0
+    resume_celsius: float = 45.0
+    _shut_down: bool = False
+
+    def __post_init__(self):
+        if self.resume_celsius >= self.shutdown_celsius:
+            raise ValueError("resume temperature must be below the shutdown temperature")
+
+    @property
+    def is_shut_down(self) -> bool:
+        """Whether the dish is currently in thermal shutdown."""
+        return self._shut_down
+
+    def update(self, temperature_celsius: float) -> bool:
+        """Feed a temperature sample; returns True while the dish is down."""
+        if self._shut_down:
+            if temperature_celsius <= self.resume_celsius:
+                self._shut_down = False
+        elif temperature_celsius >= self.shutdown_celsius:
+            self._shut_down = True
+        return self._shut_down

@@ -1,0 +1,57 @@
+"""WireGuard host-overlay model.
+
+Celestial connects its hosts with a WireGuard overlay network so that
+microVMs on different hosts can route to each other (§3.3).  Traffic between
+machines on different hosts incurs the physical inter-host latency, which the
+coordinator subtracts from the emulated delay so the end-to-end value matches
+the simulation (§3.1: "any latency between hosts is taken into account, yet
+this only works if this latency is low enough").
+"""
+
+from __future__ import annotations
+
+
+class WireGuardOverlay:
+    """Pairwise latency model of the host overlay network."""
+
+    def __init__(self, host_count: int, inter_host_latency_ms: float = 0.2):
+        if host_count <= 0:
+            raise ValueError("at least one host is required")
+        if inter_host_latency_ms < 0:
+            raise ValueError("latency must be non-negative")
+        self.host_count = host_count
+        self.inter_host_latency_ms = inter_host_latency_ms
+        self._custom: dict[tuple[int, int], float] = {}
+
+    def _key(self, host_a: int, host_b: int) -> tuple[int, int]:
+        for host in (host_a, host_b):
+            if not 0 <= host < self.host_count:
+                raise IndexError(f"host {host} out of range")
+        return (min(host_a, host_b), max(host_a, host_b))
+
+    def set_latency(self, host_a: int, host_b: int, latency_ms: float) -> None:
+        """Override the measured latency between a specific pair of hosts."""
+        if latency_ms < 0:
+            raise ValueError("latency must be non-negative")
+        self._custom[self._key(host_a, host_b)] = latency_ms
+
+    def latency_ms(self, host_a: int, host_b: int) -> float:
+        """Physical latency between two hosts (0 for the same host)."""
+        if host_a == host_b:
+            self._key(host_a, host_b)
+            return 0.0
+        return self._custom.get(self._key(host_a, host_b), self.inter_host_latency_ms)
+
+    def compensated_delay_ms(self, target_delay_ms: float, host_a: int, host_b: int) -> float:
+        """Netem delay to install so the observed end-to-end delay matches.
+
+        If the physical latency already exceeds the target, the emulated
+        delay cannot be reduced below the physical value; the method then
+        returns zero and callers may want to warn the user (the paper notes
+        this requires hosts in the same data centre).
+        """
+        return max(0.0, target_delay_ms - self.latency_ms(host_a, host_b))
+
+    def can_emulate(self, target_delay_ms: float, host_a: int, host_b: int) -> bool:
+        """Whether the target delay is achievable given physical host latency."""
+        return target_delay_ms >= self.latency_ms(host_a, host_b)

@@ -1,0 +1,92 @@
+"""Mobile ground stations: ships, planes and other moving user terminals.
+
+Ground station equipment may be mobile, e.g. installed on a plane or a ship,
+which must be taken into account when selecting uplink satellites (§6.5).
+A :class:`MovingGroundStation` interpolates a great-circle-ish track between
+waypoints so the constellation calculation can be queried with the station's
+position at any simulation time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.orbits.coordinates import geodetic_to_ecef, great_circle_distance_km
+from repro.orbits.ground import GroundStation
+
+
+@dataclass(frozen=True)
+class Waypoint:
+    """One point of a ground track: a position reached at a given time."""
+
+    time_s: float
+    latitude_deg: float
+    longitude_deg: float
+    altitude_km: float = 0.0
+
+
+class MovingGroundStation:
+    """A ground station that follows a piecewise-linear geodetic track."""
+
+    def __init__(self, name: str, waypoints: list[Waypoint]):
+        if len(waypoints) < 2:
+            raise ValueError("at least two waypoints are required")
+        times = [waypoint.time_s for waypoint in waypoints]
+        if any(later <= earlier for earlier, later in zip(times, times[1:])):
+            raise ValueError("waypoint times must be strictly increasing")
+        self.name = name
+        self.waypoints = list(waypoints)
+
+    def _segment(self, time_s: float) -> tuple[Waypoint, Waypoint, float]:
+        waypoints = self.waypoints
+        if time_s <= waypoints[0].time_s:
+            return waypoints[0], waypoints[0], 0.0
+        if time_s >= waypoints[-1].time_s:
+            return waypoints[-1], waypoints[-1], 0.0
+        for start, end in zip(waypoints, waypoints[1:]):
+            if start.time_s <= time_s <= end.time_s:
+                fraction = (time_s - start.time_s) / (end.time_s - start.time_s)
+                return start, end, fraction
+        raise AssertionError("unreachable: waypoint segments cover the time range")
+
+    def position_geodetic(self, time_s: float) -> tuple[float, float, float]:
+        """Latitude, longitude [deg] and altitude [km] at a simulation time."""
+        start, end, fraction = self._segment(time_s)
+        longitude_start = start.longitude_deg
+        longitude_end = end.longitude_deg
+        # Interpolate longitudes the short way around the antimeridian.
+        if longitude_end - longitude_start > 180.0:
+            longitude_end -= 360.0
+        elif longitude_start - longitude_end > 180.0:
+            longitude_end += 360.0
+        longitude = longitude_start + fraction * (longitude_end - longitude_start)
+        if longitude > 180.0:
+            longitude -= 360.0
+        elif longitude < -180.0:
+            longitude += 360.0
+        latitude = start.latitude_deg + fraction * (end.latitude_deg - start.latitude_deg)
+        altitude = start.altitude_km + fraction * (end.altitude_km - start.altitude_km)
+        return latitude, longitude, altitude
+
+    def position_ecef(self, time_s: float) -> np.ndarray:
+        """Earth-fixed position [km] at a simulation time."""
+        latitude, longitude, altitude = self.position_geodetic(time_s)
+        return geodetic_to_ecef(latitude, longitude, altitude)
+
+    def as_ground_station(self, time_s: float) -> GroundStation:
+        """A static :class:`GroundStation` snapshot at a simulation time."""
+        latitude, longitude, altitude = self.position_geodetic(time_s)
+        return GroundStation(self.name, latitude, longitude, altitude)
+
+    def speed_km_h(self, time_s: float, delta_s: float = 60.0) -> float:
+        """Ground speed [km/h] around a simulation time."""
+        lat_a, lon_a, _ = self.position_geodetic(time_s)
+        lat_b, lon_b, _ = self.position_geodetic(time_s + delta_s)
+        distance = great_circle_distance_km(lat_a, lon_a, lat_b, lon_b)
+        return distance / delta_s * 3600.0
+
+    def track_duration_s(self) -> float:
+        """Total duration of the configured track."""
+        return self.waypoints[-1].time_s - self.waypoints[0].time_s

@@ -1,0 +1,210 @@
+"""Constellation shells: Walker-style shells of evenly-spaced orbital planes.
+
+A LEO constellation comprises *shells*, each at its own altitude and
+inclination.  Each shell consists of a number of orbital planes evenly spaced
+around the equator, and each plane contains satellites evenly spaced along
+the same orbit (§2.1).  A Walker *delta* shell spreads the ascending nodes of
+its planes over 360°; a Walker *star* shell (such as Iridium) spreads them
+over 180° so that the first and last planes are counter-rotating "seam"
+neighbours (§5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, Literal
+
+import numpy as np
+
+from repro.orbits import constants
+from repro.orbits.kepler import (
+    KeplerianElements,
+    KeplerPropagator,
+    j2_secular_rates,
+    mean_motion_from_semi_major_axis,
+)
+from repro.orbits.sgp4 import SGP4Propagator
+from repro.orbits.tle import TwoLineElement
+
+
+@dataclass(frozen=True)
+class Satellite:
+    """Identity of one satellite within a shell.
+
+    ``identifier`` is the flat index within its shell; Celestial's DNS names
+    satellites as ``<identifier>.<shell>.celestial`` (§3.2).
+    """
+
+    shell_index: int
+    identifier: int
+    plane: int
+    index_in_plane: int
+
+    @property
+    def name(self) -> str:
+        """DNS-style name of the satellite machine."""
+        return f"{self.identifier}.{self.shell_index}.celestial"
+
+
+@dataclass(frozen=True)
+class ShellGeometry:
+    """Static orbital geometry of one constellation shell."""
+
+    planes: int
+    satellites_per_plane: int
+    altitude_km: float
+    inclination_deg: float
+    arc_of_ascending_nodes_deg: float = 360.0
+    phase_offset_fraction: float = 0.5
+    eccentricity: float = 0.0
+    raan_offset_deg: float = 0.0
+
+    def __post_init__(self):
+        if self.planes <= 0 or self.satellites_per_plane <= 0:
+            raise ValueError("planes and satellites_per_plane must be positive")
+        if self.altitude_km <= 0:
+            raise ValueError("altitude must be positive")
+        if not 0.0 < self.arc_of_ascending_nodes_deg <= 360.0:
+            raise ValueError("arc of ascending nodes must be in (0, 360] degrees")
+
+    @property
+    def total_satellites(self) -> int:
+        """Number of satellites in the shell."""
+        return self.planes * self.satellites_per_plane
+
+    @property
+    def semi_major_axis_km(self) -> float:
+        """Semi-major axis of the (circular) shell orbit."""
+        return constants.EARTH_RADIUS_KM + self.altitude_km
+
+    @property
+    def period_s(self) -> float:
+        """Orbital period of the shell [s]."""
+        return 2.0 * math.pi / mean_motion_from_semi_major_axis(self.semi_major_axis_km)
+
+    @property
+    def is_polar_star(self) -> bool:
+        """Whether the shell is a Walker-star constellation (Iridium-like)."""
+        return self.arc_of_ascending_nodes_deg <= 180.0
+
+
+class Shell:
+    """A propagatable shell of satellites.
+
+    ``propagator`` selects the underlying model: ``"kepler_j2"`` uses the
+    vectorised circular-orbit propagator with secular J2 drift (fast enough
+    for full Starlink-scale shells), ``"sgp4"`` uses one scalar SGP4 instance
+    per satellite (the model named in the paper).
+    """
+
+    def __init__(
+        self,
+        geometry: ShellGeometry,
+        shell_index: int = 0,
+        propagator: Literal["kepler_j2", "sgp4"] = "kepler_j2",
+        bstar: float = 0.0,
+    ):
+        self.geometry = geometry
+        self.shell_index = shell_index
+        self.propagator_kind = propagator
+        self.bstar = bstar
+        self.satellites: list[Satellite] = [
+            Satellite(
+                shell_index=shell_index,
+                identifier=plane * geometry.satellites_per_plane + index,
+                plane=plane,
+                index_in_plane=index,
+            )
+            for plane in range(geometry.planes)
+            for index in range(geometry.satellites_per_plane)
+        ]
+        self._raan_deg, self._anomaly_deg = self._initial_angles()
+        self._sgp4: list[SGP4Propagator] | None = None
+        if propagator == "sgp4":
+            self._sgp4 = [self._sgp4_for(sat) for sat in self.satellites]
+        elif propagator != "kepler_j2":
+            raise ValueError(f"unknown propagator kind: {propagator!r}")
+        incl = math.radians(geometry.inclination_deg)
+        self._raan_dot, argp_dot, m_dot_extra = j2_secular_rates(
+            geometry.semi_major_axis_km, geometry.eccentricity, incl
+        )
+        # For (near-)circular orbits the argument of latitude advances at the
+        # sum of the mean-anomaly and argument-of-perigee secular rates.
+        self._mean_motion = (
+            mean_motion_from_semi_major_axis(geometry.semi_major_axis_km)
+            + m_dot_extra
+            + argp_dot
+        )
+
+    def __len__(self) -> int:
+        return len(self.satellites)
+
+    def __iter__(self) -> Iterator[Satellite]:
+        return iter(self.satellites)
+
+    # -- element construction --------------------------------------------
+
+    def _initial_angles(self) -> tuple[np.ndarray, np.ndarray]:
+        geometry = self.geometry
+        planes = np.array([sat.plane for sat in self.satellites], dtype=float)
+        indices = np.array([sat.index_in_plane for sat in self.satellites], dtype=float)
+        raan = (
+            geometry.raan_offset_deg
+            + planes * geometry.arc_of_ascending_nodes_deg / geometry.planes
+        )
+        in_plane_spacing = 360.0 / geometry.satellites_per_plane
+        phase_shift = geometry.phase_offset_fraction * in_plane_spacing / geometry.planes
+        anomaly = indices * in_plane_spacing + planes * phase_shift
+        return raan % 360.0, anomaly % 360.0
+
+    def elements_for(self, satellite: Satellite) -> KeplerianElements:
+        """Keplerian elements of one satellite at the shell epoch."""
+        flat = satellite.identifier
+        return KeplerianElements(
+            semi_major_axis_km=self.geometry.semi_major_axis_km,
+            eccentricity=self.geometry.eccentricity,
+            inclination_deg=self.geometry.inclination_deg,
+            raan_deg=float(self._raan_deg[flat]),
+            arg_perigee_deg=0.0,
+            mean_anomaly_deg=float(self._anomaly_deg[flat]),
+        )
+
+    def _sgp4_for(self, satellite: Satellite) -> SGP4Propagator:
+        from datetime import datetime
+
+        tle = TwoLineElement.from_elements(
+            self.elements_for(satellite),
+            epoch=datetime(2022, 1, 1),
+            name=satellite.name,
+            satellite_number=satellite.identifier + 1,
+            bstar=self.bstar,
+        )
+        return SGP4Propagator(tle)
+
+    def kepler_propagator_for(self, satellite: Satellite) -> KeplerPropagator:
+        """Scalar Kepler+J2 propagator for one satellite (mainly for tests)."""
+        return KeplerPropagator(self.elements_for(satellite), include_j2=True)
+
+    # -- propagation ------------------------------------------------------
+
+    def positions_eci(self, t_seconds: float) -> np.ndarray:
+        """ECI positions [km] of all satellites at ``t_seconds``, shape (N, 3)."""
+        if self._sgp4 is not None:
+            return np.array([prop.position_eci(t_seconds) for prop in self._sgp4])
+        geometry = self.geometry
+        a = geometry.semi_major_axis_km
+        incl = math.radians(geometry.inclination_deg)
+        raan = np.radians(self._raan_deg) + self._raan_dot * t_seconds
+        anomaly = np.radians(self._anomaly_deg) + self._mean_motion * t_seconds
+        cos_u, sin_u = np.cos(anomaly), np.sin(anomaly)
+        cos_o, sin_o = np.cos(raan), np.sin(raan)
+        cos_i, sin_i = math.cos(incl), math.sin(incl)
+        x = a * (cos_u * cos_o - sin_u * sin_o * cos_i)
+        y = a * (cos_u * sin_o + sin_u * cos_o * cos_i)
+        z = a * (sin_u * sin_i)
+        return np.stack([x, y, z], axis=-1)
+
+    def velocity_km_s(self) -> float:
+        """Orbital speed of satellites in the shell [km/s] (circular orbit)."""
+        return math.sqrt(constants.EARTH_MU_KM3_S2 / self.geometry.semi_major_axis_km)

@@ -1,0 +1,83 @@
+"""Visibility computations: elevation angles and inter-satellite line of sight.
+
+Celestial's constellation calculation uses two visibility rules (§3.1):
+
+* an ISL is only usable while the line of sight between the two satellites
+  does not dip into the atmosphere (refraction would break the laser link);
+* a ground station can only communicate with satellites above a configurable
+  minimum elevation angle over the horizon.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.orbits import constants
+
+
+def slant_range_km(position_a: np.ndarray, position_b: np.ndarray) -> np.ndarray:
+    """Euclidean distance [km] between two positions (broadcasts over rows)."""
+    difference = np.asarray(position_b, dtype=float) - np.asarray(position_a, dtype=float)
+    return np.linalg.norm(difference, axis=-1)
+
+
+def elevation_angle_deg(
+    ground_position: np.ndarray, satellite_position: np.ndarray
+) -> np.ndarray:
+    """Elevation [deg] of a satellite above the local horizon of a ground point.
+
+    Both positions must be expressed in the same frame at the same instant.
+    """
+    ground = np.asarray(ground_position, dtype=float)
+    satellite = np.asarray(satellite_position, dtype=float)
+    to_satellite = satellite - ground
+    ground_norm = np.linalg.norm(ground, axis=-1)
+    range_norm = np.linalg.norm(to_satellite, axis=-1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        sin_elevation = np.sum(to_satellite * ground, axis=-1) / (range_norm * ground_norm)
+    sin_elevation = np.clip(sin_elevation, -1.0, 1.0)
+    return np.degrees(np.arcsin(sin_elevation))
+
+
+def ground_station_visible(
+    ground_position: np.ndarray,
+    satellite_position: np.ndarray,
+    min_elevation_deg: float = constants.DEFAULT_MIN_ELEVATION_DEG,
+) -> np.ndarray:
+    """Whether a satellite is above the minimum elevation for a ground station."""
+    return elevation_angle_deg(ground_position, satellite_position) >= min_elevation_deg
+
+
+def isl_line_of_sight(
+    position_a: np.ndarray,
+    position_b: np.ndarray,
+    grazing_altitude_km: float = constants.ATMOSPHERE_GRAZING_ALTITUDE_KM,
+) -> np.ndarray:
+    """Whether the segment between two satellites clears the atmosphere.
+
+    The link is considered blocked when the closest approach of the segment
+    to the Earth's centre falls below ``earth_radius + grazing_altitude`` and
+    the closest point lies between the two satellites.
+    """
+    a = np.asarray(position_a, dtype=float)
+    b = np.asarray(position_b, dtype=float)
+    ab = b - a
+    ab_sq = np.sum(ab * ab, axis=-1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        t = np.clip(-np.sum(a * ab, axis=-1) / np.where(ab_sq == 0, 1.0, ab_sq), 0.0, 1.0)
+    closest = a + ab * t[..., None] if np.ndim(t) else a + ab * t
+    closest_distance = np.linalg.norm(closest, axis=-1)
+    limit = constants.EARTH_RADIUS_KM + grazing_altitude_km
+    return closest_distance >= limit
+
+
+def max_isl_length_km(
+    altitude_a_km: float,
+    altitude_b_km: float,
+    grazing_altitude_km: float = constants.ATMOSPHERE_GRAZING_ALTITUDE_KM,
+) -> float:
+    """Longest possible ISL between two altitudes that still clears the atmosphere."""
+    limit = constants.EARTH_RADIUS_KM + grazing_altitude_km
+    radius_a = constants.EARTH_RADIUS_KM + altitude_a_km
+    radius_b = constants.EARTH_RADIUS_KM + altitude_b_km
+    return float(np.sqrt(radius_a**2 - limit**2) + np.sqrt(radius_b**2 - limit**2))

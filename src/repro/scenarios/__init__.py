@@ -1,0 +1,46 @@
+"""Ready-made scenario configurations from the paper's evaluation.
+
+* :mod:`repro.scenarios.starlink` — the planned phase I Starlink constellation
+  (five shells, 4,409 satellites; Fig. 1).
+* :mod:`repro.scenarios.iridium` — the Iridium constellation used by the DART
+  case study (66 satellites, 180° arc of ascending nodes; Fig. 10).
+* :mod:`repro.scenarios.west_africa` — the §4 meetup/video-conference
+  deployment with clients in Accra, Abuja and Yaoundé and a cloud data centre
+  in Johannesburg (Fig. 3).
+* :mod:`repro.scenarios.pacific` — the §5 real-time ocean environment alert
+  system with 100 DART buoys and 200 data sinks in the Pacific (Figs. 9-11).
+"""
+
+from repro.scenarios.starlink import (
+    starlink_first_shell,
+    starlink_phase1_shells,
+    starlink_phase1_total_satellites,
+)
+from repro.scenarios.iridium import iridium_shell
+from repro.scenarios.west_africa import (
+    CLIENT_LOCATIONS,
+    CLOUD_LOCATION,
+    west_africa_bounding_box,
+    west_africa_configuration,
+)
+from repro.scenarios.pacific import (
+    PACIFIC_TSUNAMI_WARNING_CENTER,
+    dart_configuration,
+    generate_buoys,
+    generate_sinks,
+)
+
+__all__ = [
+    "CLIENT_LOCATIONS",
+    "CLOUD_LOCATION",
+    "PACIFIC_TSUNAMI_WARNING_CENTER",
+    "dart_configuration",
+    "generate_buoys",
+    "generate_sinks",
+    "iridium_shell",
+    "starlink_first_shell",
+    "starlink_phase1_shells",
+    "starlink_phase1_total_satellites",
+    "west_africa_bounding_box",
+    "west_africa_configuration",
+]

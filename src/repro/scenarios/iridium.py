@@ -1,0 +1,48 @@
+"""The Iridium constellation used by the DART case study (paper §5, Fig. 10).
+
+A single shell of 66 satellites in 6 planes at 780 km altitude in a polar
+orbit, spaced evenly only around half the globe (180° arc of ascending
+nodes).  Because of this Walker-star spacing, no ISLs exist between the first
+and last orbital plane — satellites there move in opposite directions.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ComputeParams, NetworkParams, ShellConfig
+from repro.orbits import ShellGeometry
+
+#: Iridium Certus 100 bandwidth recommended for remote sensing: 88 kb/s (§5.1).
+IRIDIUM_SENSOR_BANDWIDTH_KBPS = 88.0
+#: ISL and central ground-station link bandwidth in the case study: 100 Mb/s.
+IRIDIUM_ISL_BANDWIDTH_KBPS = 100_000.0
+#: Minimum elevation for Iridium terminals [deg].
+IRIDIUM_MIN_ELEVATION_DEG = 8.2
+
+
+def iridium_shell(
+    satellite_compute: ComputeParams | None = None,
+    inclination_deg: float = 90.0,
+) -> ShellConfig:
+    """Shell configuration of the Iridium constellation.
+
+    The paper describes the orbit as polar (90° inclination); the operational
+    constellation flies at 86.4°, which can be selected via
+    ``inclination_deg`` without affecting the seam behaviour.
+    """
+    compute = satellite_compute or ComputeParams(vcpu_count=1, memory_mib=1024)
+    return ShellConfig(
+        name="iridium",
+        geometry=ShellGeometry(
+            planes=6,
+            satellites_per_plane=11,
+            altitude_km=780.0,
+            inclination_deg=inclination_deg,
+            arc_of_ascending_nodes_deg=180.0,
+        ),
+        network=NetworkParams(
+            isl_bandwidth_kbps=IRIDIUM_ISL_BANDWIDTH_KBPS,
+            uplink_bandwidth_kbps=IRIDIUM_SENSOR_BANDWIDTH_KBPS,
+            min_elevation_deg=IRIDIUM_MIN_ELEVATION_DEG,
+        ),
+        compute=compute,
+    )

@@ -1,0 +1,51 @@
+"""Simulated clocks.
+
+Celestial's evaluation schedules latency-measuring clients on the same host
+with a shared PTP clock to minimise clock drift (§4.1, §5.1).  This module
+models both perfectly-synchronised (PTP) clocks and clocks with constant
+drift and offset, so experiments can quantify the impact of imperfect
+synchronisation.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Simulation
+
+
+class Clock:
+    """A perfect clock that reads simulation time directly."""
+
+    def __init__(self, sim: Simulation):
+        self.sim = sim
+
+    def now(self) -> float:
+        """Current clock reading in seconds."""
+        return self.sim.now
+
+
+class DriftingClock(Clock):
+    """A clock with a constant offset and a constant drift rate.
+
+    ``drift_ppm`` is the frequency error in parts per million: a clock with
+    ``drift_ppm=50`` gains 50 microseconds per simulated second.
+    """
+
+    def __init__(self, sim: Simulation, offset: float = 0.0, drift_ppm: float = 0.0):
+        super().__init__(sim)
+        self.offset = offset
+        self.drift_ppm = drift_ppm
+
+    def now(self) -> float:
+        return self.sim.now * (1.0 + self.drift_ppm * 1e-6) + self.offset
+
+
+class PTPClock(DriftingClock):
+    """A shared PTP-synchronised clock: zero offset and zero drift.
+
+    Modelled as a perfect clock because Celestial's clients share a hardware
+    clock on the same host, making residual error negligible compared to the
+    measured millisecond-scale latencies.
+    """
+
+    def __init__(self, sim: Simulation):
+        super().__init__(sim, offset=0.0, drift_ppm=0.0)

@@ -1,0 +1,276 @@
+"""Core discrete-event simulation engine.
+
+The engine follows the familiar process-based simulation model: a
+:class:`Simulation` owns a priority queue of scheduled events and the current
+simulated time.  A :class:`Process` wraps a Python generator; every value the
+generator yields must be an :class:`Event`, and the process resumes when that
+event is triggered.  The engine is deterministic: events scheduled for the
+same time are processed in scheduling order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal simulation operations (e.g. negative delays)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when it is interrupted by another process."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A condition that may be triggered once, resuming waiting processes."""
+
+    def __init__(self, sim: "Simulation"):
+        self.sim = sim
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self.triggered = False
+        self.processed = False
+        self.ok: Optional[bool] = None
+        self.value: Any = None
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with an optional value."""
+        if self.triggered:
+            raise SimulationError("event has already been triggered")
+        self.triggered = True
+        self.ok = True
+        self.value = value
+        self.sim._schedule(self, 0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception to be raised in waiters."""
+        if self.triggered:
+            raise SimulationError("event has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self.triggered = True
+        self.ok = False
+        self.value = exception
+        self.sim._schedule(self, 0.0)
+        return self
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed simulated delay."""
+
+    def __init__(self, sim: "Simulation", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self.triggered = True
+        self.ok = True
+        self.value = value
+        sim._schedule(self, delay)
+
+
+class Process(Event):
+    """An event that wraps a running generator-based process.
+
+    The process triggers (as an event) when its generator returns; the return
+    value of the generator becomes the event value.
+    """
+
+    def __init__(self, sim: "Simulation", generator: Generator):
+        super().__init__(sim)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        init = Event(sim)
+        init.succeed()
+        init.callbacks.append(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the process generator has not yet finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Interrupt the process, raising :class:`Interrupt` inside it."""
+        if self.triggered:
+            return
+        interrupt_event = Event(self.sim)
+        interrupt_event.triggered = True
+        interrupt_event.ok = False
+        interrupt_event.value = Interrupt(cause)
+        interrupt_event.callbacks.append(self._resume)
+        self.sim._schedule(interrupt_event, 0.0)
+
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self.sim._active_process = self
+        try:
+            if event.ok:
+                target = self._generator.send(event.value)
+            else:
+                target = self._generator.throw(event.value)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            if not self.triggered:
+                self.succeed(stop.value)
+            return
+        except Interrupt:
+            self.sim._active_process = None
+            if not self.triggered:
+                self.succeed(None)
+            return
+        self.sim._active_process = None
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process yielded {target!r}, which is not an Event"
+            )
+        self._waiting_on = target
+        if target.processed:
+            # The event already fired and its callbacks ran; resume through a
+            # fresh immediate event so queue ordering stays deterministic.
+            resume = Event(self.sim)
+            resume.triggered = True
+            resume.ok = target.ok
+            resume.value = target.value
+            resume.callbacks.append(self._resume)
+            self.sim._schedule(resume, 0.0)
+        else:
+            target.callbacks.append(self._resume)
+
+
+class _Condition(Event):
+    """Base for composite events over a set of child events."""
+
+    def __init__(self, sim: "Simulation", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._pending = len(self.events)
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event.processed:
+                self._child_done(event)
+            else:
+                event.callbacks.append(self._child_done)
+
+    def _child_done(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _values(self) -> dict:
+        return {
+            index: event.value
+            for index, event in enumerate(self.events)
+            if event.processed
+        }
+
+
+class AllOf(_Condition):
+    """Triggers when all child events have triggered."""
+
+    def _child_done(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.ok is False:
+            self.fail(event.value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(self._values())
+
+
+class AnyOf(_Condition):
+    """Triggers when at least one child event has triggered."""
+
+    def _child_done(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.ok is False:
+            self.fail(event.value)
+            return
+        self.succeed(self._values())
+
+
+class Simulation:
+    """Deterministic discrete-event simulation loop."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._sequence = 0
+        self._active_process: Optional[Process] = None
+        self._processed_events = 0
+
+    # -- scheduling -------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past: {delay}")
+        self._sequence += 1
+        heapq.heappush(self._queue, (self.now + delay, 0, self._sequence, event))
+
+    def event(self) -> Event:
+        """Create a new untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Register a generator as a simulation process and start it."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event triggering once every given event has triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event triggering once any given event has triggered."""
+        return AnyOf(self, events)
+
+    # -- execution --------------------------------------------------------
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events processed so far (useful for tests/metrics)."""
+        return self._processed_events
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        """Process exactly one event from the queue."""
+        if not self._queue:
+            raise SimulationError("no more events to process")
+        time, _, _, event = heapq.heappop(self._queue)
+        if time < self.now - 1e-12:
+            raise SimulationError("event scheduled in the past")
+        self.now = max(self.now, time)
+        self._processed_events += 1
+        event.processed = True
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue is empty or simulated time reaches ``until``."""
+        if until is not None and until < self.now:
+            raise SimulationError(
+                f"cannot run until {until}, already at {self.now}"
+            )
+        while self._queue:
+            if until is not None and self.peek() > until:
+                self.now = until
+                return
+            self.step()
+        if until is not None:
+            self.now = until

@@ -1,0 +1,25 @@
+"""Constellation network topology: ISLs, uplinks, link parameters, shortest paths."""
+
+from repro.topology.graph import Link, LinkType, NetworkGraph, NodeIndex
+from repro.topology.isl import grid_plus_isl_pairs
+from repro.topology.linkparams import (
+    link_delay_ms,
+    propagation_delay_ms,
+    serialization_delay_ms,
+)
+from repro.topology.paths import PathResult, ShortestPaths
+from repro.topology.uplinks import visible_satellites
+
+__all__ = [
+    "Link",
+    "LinkType",
+    "NetworkGraph",
+    "NodeIndex",
+    "PathResult",
+    "ShortestPaths",
+    "grid_plus_isl_pairs",
+    "link_delay_ms",
+    "propagation_delay_ms",
+    "serialization_delay_ms",
+    "visible_satellites",
+]

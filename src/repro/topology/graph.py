@@ -1,0 +1,191 @@
+"""Network graph data structures for the constellation topology.
+
+Nodes are satellites (addressed by shell index and in-shell identifier) and
+ground stations (addressed by name).  Internally every node maps to a flat
+integer index so that adjacency matrices and shortest-path algorithms can
+operate on NumPy/SciPy structures.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+from scipy import sparse
+
+
+class LinkType(enum.Enum):
+    """Type of a constellation network link."""
+
+    ISL = "isl"
+    UPLINK = "uplink"
+    HOST = "host"
+
+
+@dataclass(frozen=True)
+class Link:
+    """An undirected network link between two flat node indices."""
+
+    node_a: int
+    node_b: int
+    distance_km: float
+    delay_ms: float
+    bandwidth_kbps: float
+    link_type: LinkType = LinkType.ISL
+
+    def other(self, node: int) -> int:
+        """The endpoint of the link that is not ``node``."""
+        if node == self.node_a:
+            return self.node_b
+        if node == self.node_b:
+            return self.node_a
+        raise ValueError(f"node {node} is not an endpoint of this link")
+
+
+class NodeIndex:
+    """Bidirectional mapping between logical node names and flat indices.
+
+    Satellites come first, ordered by shell then by in-shell identifier;
+    ground stations follow in registration order.  This matches Celestial's
+    address-space layout where each (shell, id) pair and each ground station
+    receives a deterministic network address (§3.2).
+    """
+
+    def __init__(self, shell_sizes: Iterable[int], ground_station_names: Iterable[str]):
+        self.shell_sizes = list(shell_sizes)
+        self.ground_station_names = list(ground_station_names)
+        if len(set(self.ground_station_names)) != len(self.ground_station_names):
+            raise ValueError("ground station names must be unique")
+        self._shell_offsets: list[int] = []
+        offset = 0
+        for size in self.shell_sizes:
+            if size <= 0:
+                raise ValueError("shell sizes must be positive")
+            self._shell_offsets.append(offset)
+            offset += size
+        self.satellite_count = offset
+        self._gst_offset = offset
+        self._gst_indices = {
+            name: self._gst_offset + position
+            for position, name in enumerate(self.ground_station_names)
+        }
+
+    def __len__(self) -> int:
+        return self.satellite_count + len(self.ground_station_names)
+
+    @property
+    def node_count(self) -> int:
+        """Total number of nodes (satellites + ground stations)."""
+        return len(self)
+
+    def satellite(self, shell: int, identifier: int) -> int:
+        """Flat index of a satellite."""
+        if not 0 <= shell < len(self.shell_sizes):
+            raise IndexError(f"shell {shell} out of range")
+        if not 0 <= identifier < self.shell_sizes[shell]:
+            raise IndexError(f"satellite {identifier} out of range for shell {shell}")
+        return self._shell_offsets[shell] + identifier
+
+    def ground_station(self, name: str) -> int:
+        """Flat index of a ground station."""
+        if name not in self._gst_indices:
+            raise KeyError(f"unknown ground station: {name}")
+        return self._gst_indices[name]
+
+    def is_satellite(self, index: int) -> bool:
+        """Whether a flat index refers to a satellite."""
+        return 0 <= index < self.satellite_count
+
+    def is_ground_station(self, index: int) -> bool:
+        """Whether a flat index refers to a ground station."""
+        return self.satellite_count <= index < len(self)
+
+    def describe(self, index: int) -> tuple[str, int, int | str]:
+        """Human-readable description: ('sat', shell, id) or ('gst', -1, name)."""
+        if index < 0 or index >= len(self):
+            raise IndexError(f"node index {index} out of range")
+        if self.is_satellite(index):
+            for shell, offset in enumerate(self._shell_offsets):
+                if index < offset + self.shell_sizes[shell]:
+                    return ("sat", shell, index - offset)
+        return ("gst", -1, self.ground_station_names[index - self._gst_offset])
+
+    def satellites_of_shell(self, shell: int) -> range:
+        """Flat index range of all satellites of one shell."""
+        offset = self._shell_offsets[shell]
+        return range(offset, offset + self.shell_sizes[shell])
+
+    def ground_station_indices(self) -> range:
+        """Flat index range of all ground stations."""
+        return range(self._gst_offset, len(self))
+
+
+@dataclass
+class NetworkGraph:
+    """A snapshot of the constellation network at one point in time."""
+
+    index: NodeIndex
+    links: list[Link] = field(default_factory=list)
+
+    def add_link(self, link: Link) -> None:
+        """Add an undirected link to the graph."""
+        if link.node_a == link.node_b:
+            raise ValueError("self-links are not allowed")
+        if not (0 <= link.node_a < len(self.index) and 0 <= link.node_b < len(self.index)):
+            raise ValueError("link endpoints out of range")
+        self.links.append(link)
+
+    def delay_matrix(self) -> sparse.csr_matrix:
+        """Sparse symmetric matrix of one-way link delays [ms]."""
+        n = len(self.index)
+        if not self.links:
+            return sparse.csr_matrix((n, n))
+        rows, cols, data = [], [], []
+        for link in self.links:
+            rows.extend((link.node_a, link.node_b))
+            cols.extend((link.node_b, link.node_a))
+            data.extend((link.delay_ms, link.delay_ms))
+        return sparse.csr_matrix((data, (rows, cols)), shape=(n, n))
+
+    def links_of(self, node: int) -> list[Link]:
+        """All links incident to a node."""
+        return [link for link in self.links if node in (link.node_a, link.node_b)]
+
+    def link_between(self, node_a: int, node_b: int) -> Optional[Link]:
+        """The link between two nodes, or None if they are not adjacent."""
+        for link in self.links:
+            if {link.node_a, link.node_b} == {node_a, node_b}:
+                return link
+        return None
+
+    def degree(self, node: int) -> int:
+        """Number of links incident to a node."""
+        return len(self.links_of(node))
+
+    def total_links(self) -> int:
+        """Number of undirected links in the graph."""
+        return len(self.links)
+
+    def bandwidth_between(self, node_a: int, node_b: int) -> float:
+        """Bandwidth of the direct link between two nodes [kbps], 0 if absent."""
+        link = self.link_between(node_a, node_b)
+        return link.bandwidth_kbps if link else 0.0
+
+    def as_networkx(self):
+        """Export to a networkx graph (used by the animation/export component)."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(len(self.index)))
+        for link in self.links:
+            graph.add_edge(
+                link.node_a,
+                link.node_b,
+                delay_ms=link.delay_ms,
+                distance_km=link.distance_km,
+                bandwidth_kbps=link.bandwidth_kbps,
+                link_type=link.link_type.value,
+            )
+        return graph

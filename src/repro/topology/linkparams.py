@@ -1,0 +1,49 @@
+"""Link parameter computation: propagation delay, serialization, bandwidth.
+
+Both laser ISLs (vacuum) and RF ground-to-satellite links propagate at the
+speed of light ``c`` (§4.1).  Celestial injects the resulting delays with a
+0.1 ms accuracy via tc-netem (§3.1); the same quantisation is available here
+so emulated values match what the testbed would install.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.orbits import constants
+
+#: netem delay quantisation used by Celestial [ms].
+NETEM_DELAY_RESOLUTION_MS = 0.1
+
+
+def propagation_delay_ms(distance_km, speed_km_s: float = constants.SPEED_OF_LIGHT_KM_S):
+    """One-way propagation delay [ms] over a distance at a propagation speed."""
+    return np.asarray(distance_km, dtype=float) / speed_km_s * 1000.0
+
+
+def serialization_delay_ms(size_bytes: float, bandwidth_kbps: float) -> float:
+    """Time [ms] to push ``size_bytes`` onto a link of ``bandwidth_kbps``."""
+    if bandwidth_kbps <= 0:
+        raise ValueError("bandwidth must be positive")
+    return size_bytes * 8.0 / bandwidth_kbps
+
+
+def link_delay_ms(
+    distance_km,
+    quantize: bool = False,
+    speed_km_s: float = constants.SPEED_OF_LIGHT_KM_S,
+):
+    """One-way link delay [ms], optionally quantised to the netem resolution."""
+    delay = propagation_delay_ms(distance_km, speed_km_s)
+    if quantize:
+        delay = np.round(delay / NETEM_DELAY_RESOLUTION_MS) * NETEM_DELAY_RESOLUTION_MS
+    if np.ndim(delay) == 0:
+        return float(delay)
+    return delay
+
+
+def fiber_delay_ms(distance_km) -> float:
+    """One-way delay [ms] through terrestrial fiber (~47% slower than vacuum)."""
+    return float(
+        np.asarray(distance_km, dtype=float) / constants.SPEED_OF_LIGHT_FIBER_KM_S * 1000.0
+    )

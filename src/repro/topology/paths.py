@@ -1,0 +1,137 @@
+"""Shortest network paths and end-to-end latency within the constellation.
+
+Celestial computes shortest paths with efficient implementations of
+Dijkstra's algorithm and the Floyd-Warshall algorithm (§3.1).  Both are
+available here, backed by ``scipy.sparse.csgraph``: Dijkstra from a set of
+source nodes (the default, scales to Starlink-sized constellations), and
+Floyd-Warshall for dense all-pairs computation on smaller topologies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Literal, Optional, Sequence
+
+import numpy as np
+from scipy.sparse import csgraph
+
+from repro.topology.graph import NetworkGraph
+
+
+@dataclass(frozen=True)
+class PathResult:
+    """A shortest path between two nodes with its end-to-end delay."""
+
+    source: int
+    target: int
+    delay_ms: float
+    hops: tuple[int, ...]
+
+    @property
+    def reachable(self) -> bool:
+        """Whether a path exists."""
+        return np.isfinite(self.delay_ms)
+
+    @property
+    def hop_count(self) -> int:
+        """Number of links traversed (0 if unreachable or source == target)."""
+        return max(0, len(self.hops) - 1)
+
+    @property
+    def rtt_ms(self) -> float:
+        """Round-trip time assuming the symmetric path is used both ways."""
+        return 2.0 * self.delay_ms
+
+
+class ShortestPaths:
+    """Shortest paths from a set of source nodes over a network snapshot."""
+
+    def __init__(
+        self,
+        graph: NetworkGraph,
+        sources: Optional[Sequence[int]] = None,
+        method: Literal["dijkstra", "floyd-warshall"] = "dijkstra",
+    ):
+        self.graph = graph
+        matrix = graph.delay_matrix()
+        node_count = matrix.shape[0]
+        if sources is None:
+            sources = list(range(node_count))
+        self.sources = list(sources)
+        if not self.sources:
+            raise ValueError("at least one source node is required")
+        for source in self.sources:
+            if not 0 <= source < node_count:
+                raise ValueError(f"source {source} out of range")
+        self.method = method
+        if method == "dijkstra":
+            distances, predecessors = csgraph.dijkstra(
+                matrix, directed=False, indices=self.sources, return_predecessors=True
+            )
+        elif method == "floyd-warshall":
+            all_distances, all_predecessors = csgraph.floyd_warshall(
+                matrix.toarray(), directed=False, return_predecessors=True
+            )
+            distances = all_distances[self.sources]
+            predecessors = all_predecessors[self.sources]
+        else:
+            raise ValueError(f"unknown shortest path method: {method!r}")
+        self._row_of = {source: row for row, source in enumerate(self.sources)}
+        self._distances = np.atleast_2d(distances)
+        self._predecessors = np.atleast_2d(predecessors)
+
+    def has_source(self, node: int) -> bool:
+        """Whether shortest paths were computed from this node."""
+        return node in self._row_of
+
+    def delay_ms(self, source: int, target: int) -> float:
+        """One-way shortest-path delay [ms]; ``inf`` if unreachable."""
+        row = self._row_for(source)
+        return float(self._distances[row, target])
+
+    def rtt_ms(self, source: int, target: int) -> float:
+        """Round-trip delay [ms] over the symmetric shortest path."""
+        return 2.0 * self.delay_ms(source, target)
+
+    def reachable(self, source: int, target: int) -> bool:
+        """Whether the target can be reached from the source."""
+        return np.isfinite(self.delay_ms(source, target))
+
+    def path(self, source: int, target: int) -> PathResult:
+        """Full path reconstruction between a source and a target node."""
+        row = self._row_for(source)
+        delay = float(self._distances[row, target])
+        if not np.isfinite(delay):
+            return PathResult(source, target, float("inf"), ())
+        if source == target:
+            return PathResult(source, target, 0.0, (source,))
+        hops = [target]
+        current = target
+        predecessors = self._predecessors[row]
+        while current != source:
+            current = int(predecessors[current])
+            if current < 0:
+                return PathResult(source, target, float("inf"), ())
+            hops.append(current)
+        hops.reverse()
+        return PathResult(source, target, delay, tuple(hops))
+
+    def delays_from(self, source: int) -> np.ndarray:
+        """Vector of one-way delays [ms] from a source to every node."""
+        return self._distances[self._row_for(source)].copy()
+
+    def nearest(self, source: int, candidates: Iterable[int]) -> Optional[int]:
+        """The candidate node with the lowest delay from ``source``, or None."""
+        candidates = list(candidates)
+        if not candidates:
+            return None
+        delays = [self.delay_ms(source, candidate) for candidate in candidates]
+        best = int(np.argmin(delays))
+        if not np.isfinite(delays[best]):
+            return None
+        return candidates[best]
+
+    def _row_for(self, source: int) -> int:
+        if source not in self._row_of:
+            raise KeyError(f"node {source} was not used as a source")
+        return self._row_of[source]

@@ -1,0 +1,46 @@
+"""Ground-station uplink selection.
+
+A ground station can communicate with every satellite currently above its
+configured minimum elevation angle (§3.1).  Celestial configures network
+links to all of them; applications (such as the §4 tracking service) then
+decide which satellite server to use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.orbits import constants
+from repro.orbits.visibility import elevation_angle_deg, slant_range_km
+
+
+def visible_satellites(
+    ground_position: np.ndarray,
+    satellite_positions: np.ndarray,
+    min_elevation_deg: float = constants.DEFAULT_MIN_ELEVATION_DEG,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Indices and slant ranges [km] of satellites visible from a ground point.
+
+    Both positions must be in the same frame at the same instant; the
+    satellite positions array has shape (N, 3).
+    """
+    satellite_positions = np.asarray(satellite_positions, dtype=float)
+    elevations = elevation_angle_deg(ground_position, satellite_positions)
+    visible = np.nonzero(elevations >= min_elevation_deg)[0]
+    distances = slant_range_km(ground_position, satellite_positions[visible])
+    return visible, np.atleast_1d(distances)
+
+
+def closest_visible_satellite(
+    ground_position: np.ndarray,
+    satellite_positions: np.ndarray,
+    min_elevation_deg: float = constants.DEFAULT_MIN_ELEVATION_DEG,
+) -> tuple[int, float] | None:
+    """The nearest visible satellite as (index, distance km), or None."""
+    visible, distances = visible_satellites(
+        ground_position, satellite_positions, min_elevation_deg
+    )
+    if visible.size == 0:
+        return None
+    best = int(np.argmin(distances))
+    return int(visible[best]), float(distances[best])

@@ -1,0 +1,135 @@
+"""Tests for the repro-celestial command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+_CONFIG_TOML = """
+epoch = "2022-01-01T00:00:00"
+update_interval_s = 5.0
+duration_s = 60.0
+
+[hosts]
+count = 2
+cpu_cores = 32
+memory_mib = 98304
+
+[[shells]]
+name = "iridium"
+[shells.geometry]
+planes = 6
+satellites_per_plane = 11
+altitude_km = 780.0
+inclination_deg = 90.0
+arc_of_ascending_nodes_deg = 180.0
+[shells.network]
+min_elevation_deg = 8.2
+[shells.compute]
+vcpu_count = 1
+memory_mib = 1024
+
+[[ground_stations]]
+name = "hawaii"
+latitude_deg = 21.36
+longitude_deg = -157.95
+"""
+
+
+@pytest.fixture()
+def config_path(tmp_path):
+    path = tmp_path / "config.toml"
+    path.write_text(_CONFIG_TOML)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for command in ("validate", "snapshot", "meetup", "dart", "handover", "cost"):
+            assert command in parser.format_help()
+
+
+class TestValidateCommand:
+    def test_validate_ok(self, config_path, capsys):
+        exit_code = main(["validate", config_path])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "satellites" in output
+        assert "66" in output
+
+    def test_validate_flags_memory_problem(self, tmp_path, capsys):
+        text = _CONFIG_TOML.replace("memory_mib = 98304", "memory_mib = 1024")
+        path = tmp_path / "small.toml"
+        path.write_text(text)
+        exit_code = main(["validate", str(path)])
+        output = capsys.readouterr().out
+        assert exit_code == 1
+        assert "warnings" in output
+
+
+class TestSnapshotCommand:
+    def test_snapshot_to_file(self, config_path, tmp_path, capsys):
+        output_file = tmp_path / "snapshot.json"
+        exit_code = main([
+            "snapshot", config_path, "--time", "30", "--output", str(output_file), "--no-links",
+        ])
+        assert exit_code == 0
+        payload = json.loads(output_file.read_text())
+        assert len(payload["satellites"]) == 66
+        assert "wrote" in capsys.readouterr().out
+
+    def test_snapshot_geojson_to_stdout(self, config_path, capsys):
+        exit_code = main(["snapshot", config_path, "--geojson"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["type"] == "FeatureCollection"
+
+    def test_snapshot_json_config(self, tmp_path, capsys):
+        # Round-trip the TOML config through JSON to exercise the JSON loader.
+        import tomllib
+
+        json_path = tmp_path / "config.json"
+        json_path.write_text(json.dumps(tomllib.loads(_CONFIG_TOML)))
+        assert main(["snapshot", str(json_path), "--geojson"]) == 0
+        assert json.loads(capsys.readouterr().out)["type"] == "FeatureCollection"
+
+
+class TestExperimentCommands:
+    def test_meetup_command(self, capsys):
+        exit_code = main([
+            "meetup", "--mode", "cloud", "--duration", "20", "--shells", "lowest",
+            "--packet-interval", "0.2",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "median latency" in output
+
+    def test_dart_command(self, capsys):
+        exit_code = main([
+            "dart", "--deployment", "central", "--buoys", "5", "--sinks", "10",
+            "--duration", "20",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "results delivered" in output
+
+    def test_handover_command(self, config_path, capsys):
+        exit_code = main([
+            "handover", config_path, "--station", "hawaii", "--duration", "600",
+            "--interval", "60",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "handovers" in output
+
+    def test_cost_command(self, capsys):
+        exit_code = main(["cost", "--minutes", "15"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "celestial_usd" in output

@@ -1,0 +1,158 @@
+"""Unit tests for the bounding box, address calculation and DNS components."""
+
+import ipaddress
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BoundingBox, CelestialDNS, DNSError
+from repro.core.addressing import gateway_ip, machine_ip, network_for, parse_machine_ip
+
+
+class TestBoundingBox:
+    def test_contains_simple(self):
+        box = BoundingBox(-5.0, 20.0, -15.0, 20.0)
+        assert box.contains(5.0, 0.0)
+        assert not box.contains(30.0, 0.0)
+        assert not box.contains(5.0, 40.0)
+
+    def test_contains_vectorised(self):
+        box = BoundingBox(-5.0, 20.0, -15.0, 20.0)
+        result = box.contains(np.array([0.0, 50.0]), np.array([0.0, 0.0]))
+        assert result.tolist() == [True, False]
+
+    def test_antimeridian_wrap(self):
+        box = BoundingBox(-40.0, 50.0, 150.0, -120.0)
+        assert box.wraps_antimeridian
+        assert box.contains(0.0, 170.0)
+        assert box.contains(0.0, -170.0)
+        assert not box.contains(0.0, 0.0)
+
+    def test_whole_earth(self):
+        box = BoundingBox.whole_earth()
+        assert box.contains(89.0, 179.0)
+        assert box.area_fraction() == pytest.approx(1.0)
+
+    def test_area_fraction_band(self):
+        # A band covering half the longitudes between the equator and 30N.
+        box = BoundingBox(0.0, 30.0, -90.0, 90.0)
+        assert box.area_fraction() == pytest.approx(0.25 / 2.0)
+        assert box.area_km2() > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BoundingBox(10.0, 5.0, 0.0, 10.0)
+        with pytest.raises(ValueError):
+            BoundingBox(-95.0, 0.0, 0.0, 10.0)
+        with pytest.raises(ValueError):
+            BoundingBox(0.0, 10.0, -200.0, 10.0)
+
+    def test_expanded(self):
+        box = BoundingBox(-5.0, 20.0, -15.0, 20.0).expanded(5.0)
+        assert box.lat_min == -10.0
+        assert box.lat_max == 25.0
+        assert box.lon_min == -20.0
+        with pytest.raises(ValueError):
+            box.expanded(-1.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        lat=st.floats(min_value=-89.0, max_value=89.0),
+        lon=st.floats(min_value=-179.0, max_value=179.0),
+    )
+    def test_property_expansion_preserves_membership(self, lat, lon):
+        box = BoundingBox(-10.0, 10.0, -20.0, 20.0)
+        if box.contains(lat, lon):
+            assert box.expanded(3.0).contains(lat, lon)
+
+
+class TestAddressing:
+    def test_machine_and_gateway_in_same_block(self):
+        shell_sizes = [66]
+        network = network_for(shell_sizes, 0, 10)
+        assert machine_ip(shell_sizes, 0, 10) in network
+        assert gateway_ip(shell_sizes, 0, 10) in network
+        assert machine_ip(shell_sizes, 0, 10) != gateway_ip(shell_sizes, 0, 10)
+
+    def test_addresses_are_unique(self):
+        shell_sizes = [22, 30]
+        addresses = set()
+        for shell, size in enumerate(shell_sizes):
+            for identifier in range(size):
+                addresses.add(machine_ip(shell_sizes, shell, identifier))
+        assert len(addresses) == sum(shell_sizes)
+
+    def test_parse_roundtrip(self):
+        shell_sizes = [22, 30]
+        assert parse_machine_ip(shell_sizes, machine_ip(shell_sizes, 1, 7)) == (1, 7)
+        # Ground stations live in the virtual shell after all satellite shells.
+        gst_address = machine_ip(shell_sizes, 2, 3)
+        assert parse_machine_ip(shell_sizes, gst_address) == (2, 3)
+
+    def test_invalid_lookups(self):
+        with pytest.raises(IndexError):
+            machine_ip([10], 0, 99)
+        with pytest.raises(IndexError):
+            machine_ip([10], 5, 0)
+        with pytest.raises(ValueError):
+            parse_machine_ip([10], ipaddress.IPv4Address("10.0.0.1"))
+
+    def test_all_addresses_in_10_slash_8(self):
+        shell_sizes = [100]
+        network = ipaddress.IPv4Network("10.0.0.0/8")
+        assert machine_ip(shell_sizes, 0, 99) in network
+
+
+class TestDNS:
+    def _dns(self):
+        return CelestialDNS(shell_sizes=[66, 100], ground_station_names=["Accra", "abuja"])
+
+    def test_resolve_satellite(self):
+        dns = self._dns()
+        address = dns.resolve("10.0.celestial")
+        assert str(address).startswith("10.")
+        assert dns.resolve("10.0.celestial") != dns.resolve("10.1.celestial")
+
+    def test_paper_example_name(self):
+        # §3.2: "878.0.celestial" resolves satellite 878 in the first shell.
+        dns = CelestialDNS(shell_sizes=[1584], ground_station_names=[])
+        assert dns.resolve("878.0.celestial") == machine_ip([1584], 0, 878)
+
+    def test_resolve_ground_station_both_orders(self):
+        dns = self._dns()
+        assert dns.resolve("accra.gst.celestial") == dns.resolve("gst.accra.celestial")
+
+    def test_reverse_lookup(self):
+        dns = self._dns()
+        address = dns.resolve("5.1.celestial")
+        assert dns.reverse(address) == "5.1.celestial"
+        gst_address = dns.resolve("abuja.gst.celestial")
+        assert dns.reverse(gst_address) == "abuja.gst.celestial"
+
+    def test_a_record(self):
+        dns = self._dns()
+        record = dns.a_record("3.0.celestial")
+        assert record["type"] == "A"
+        assert record["address"] == str(dns.resolve("3.0.celestial"))
+
+    def test_unknown_names(self):
+        dns = self._dns()
+        with pytest.raises(DNSError):
+            dns.resolve("999.0.celestial")
+        with pytest.raises(DNSError):
+            dns.resolve("1.9.celestial")
+        with pytest.raises(DNSError):
+            dns.resolve("lagos.gst.celestial")
+        with pytest.raises(DNSError):
+            dns.resolve("example.com")
+        with pytest.raises(DNSError):
+            dns.reverse("10.255.255.254")
+
+    def test_canonical_names(self):
+        dns = self._dns()
+        assert dns.satellite_name(0, 878) == "878.0.celestial"
+        assert dns.ground_station_name("Accra") == "accra.gst.celestial"
+        with pytest.raises(DNSError):
+            dns.ground_station_name("lagos")

@@ -1,0 +1,174 @@
+"""Unit tests for the constellation database, info API, DNS-over-HTTP and animation."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.core import (
+    CelestialDNS,
+    ComputeParams,
+    Configuration,
+    ConstellationCalculation,
+    ConstellationDatabase,
+    GroundStationConfig,
+    HTTPInfoServer,
+    InfoAPI,
+    InfoAPIError,
+    NetworkParams,
+    ShellConfig,
+    constellation_snapshot,
+    snapshot_to_geojson,
+)
+from repro.orbits import GroundStation, ShellGeometry
+
+
+@pytest.fixture(scope="module")
+def setup():
+    config = Configuration(
+        shells=(
+            ShellConfig(
+                name="iridium",
+                geometry=ShellGeometry(6, 11, 780.0, 90.0, 180.0),
+                network=NetworkParams(min_elevation_deg=8.2),
+                compute=ComputeParams(vcpu_count=1, memory_mib=1024),
+            ),
+        ),
+        ground_stations=(
+            GroundStationConfig(station=GroundStation("hawaii", 21.3, -157.9)),
+            GroundStationConfig(station=GroundStation("buoy-0", 10.0, -160.0)),
+        ),
+        update_interval_s=5.0,
+    )
+    calculation = ConstellationCalculation(config)
+    database = ConstellationDatabase()
+    database.set_state(calculation.state_at(0.0))
+    dns = CelestialDNS(config.shell_sizes, config.ground_station_names)
+    api = InfoAPI(database, calculation, dns)
+    return config, calculation, database, api
+
+
+class TestDatabase:
+    def test_requires_state(self):
+        database = ConstellationDatabase()
+        assert not database.has_state
+        with pytest.raises(RuntimeError):
+            _ = database.state
+
+    def test_epoch_increments(self, setup):
+        _, calculation, database, _ = setup
+        before = database.epoch
+        database.set_state(calculation.state_at(5.0))
+        assert database.epoch == before + 1
+        assert database.updated_at_s == 5.0
+        database.set_state(calculation.state_at(0.0))
+
+    def test_constellation_info(self, setup):
+        _, _, database, _ = setup
+        info = database.constellation_info()
+        assert info["satellites"] == 66
+        assert info["ground_stations"] == 2
+        assert info["links"] > 0
+
+    def test_satellite_info(self, setup):
+        _, _, database, _ = setup
+        info = database.satellite_info(0, 13)
+        assert info["name"] == "13.0.celestial"
+        assert info["active"] is True
+        assert len(info["position_ecef_km"]) == 3
+        with pytest.raises(KeyError):
+            database.satellite_info(0, 999)
+        with pytest.raises(KeyError):
+            database.satellite_info(9, 0)
+
+    def test_ground_station_info(self, setup):
+        _, _, database, _ = setup
+        info = database.ground_station_info("hawaii")
+        assert info["name"] == "hawaii"
+        assert len(info["uplinks"]) >= 1
+        with pytest.raises(KeyError):
+            database.ground_station_info("atlantis")
+
+    def test_path_info_and_pair_rule(self, setup):
+        _, calculation, database, _ = setup
+        hawaii = calculation.ground_station("hawaii")
+        buoy = calculation.ground_station("buoy-0")
+        path = database.path_info(hawaii, buoy)
+        assert path["reachable"]
+        assert path["delay_ms"] > 0
+        assert path["rtt_ms"] == pytest.approx(2 * path["delay_ms"])
+        assert len(path["hops"]) >= 3
+        rule = database.pair_rule(hawaii, buoy)
+        assert rule.reachable
+        assert rule.delay_ms == pytest.approx(path["delay_ms"])
+        # The rule is cached per epoch.
+        assert database.pair_rule(hawaii, buoy) is rule
+
+
+class TestInfoAPI:
+    def test_info_routes(self, setup):
+        _, _, _, api = setup
+        assert api.get("/info")["satellites"] == 66
+        assert api.get("/shell/0")["satellites"] == 66
+        assert api.get("/sat/0/13")["name"] == "13.0.celestial"
+        assert api.get("/gst/hawaii")["name"] == "hawaii"
+        assert api.get("/self/13.0.celestial")["identifier"] == 13
+        assert api.get("/self/hawaii")["name"] == "hawaii"
+        path = api.get("/path/hawaii/buoy-0")
+        assert path["reachable"]
+        record = api.get("/dns/13.0.celestial")
+        assert record["type"] == "A"
+
+    def test_unknown_routes(self, setup):
+        _, _, _, api = setup
+        with pytest.raises(InfoAPIError):
+            api.get("/bogus")
+        with pytest.raises(InfoAPIError):
+            api.get("/sat/0/9999")
+        with pytest.raises(InfoAPIError):
+            api.get("/gst/atlantis")
+        with pytest.raises(InfoAPIError):
+            api.get("/self/unknown-machine")
+
+    def test_http_server_serves_json(self, setup):
+        _, _, _, api = setup
+        with HTTPInfoServer(api) as server:
+            host, port = server.address
+            with urllib.request.urlopen(f"http://{host}:{port}/info", timeout=5) as response:
+                payload = json.loads(response.read())
+                assert payload["satellites"] == 66
+            with urllib.request.urlopen(f"http://{host}:{port}/sat/0/3", timeout=5) as response:
+                assert json.loads(response.read())["name"] == "3.0.celestial"
+
+    def test_http_server_404(self, setup):
+        _, _, _, api = setup
+        with HTTPInfoServer(api) as server:
+            host, port = server.address
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(f"http://{host}:{port}/nope", timeout=5)
+
+
+class TestAnimation:
+    def test_snapshot_structure(self, setup):
+        _, _, database, _ = setup
+        snapshot = constellation_snapshot(database.state)
+        assert len(snapshot["satellites"]) == 66
+        assert len(snapshot["ground_stations"]) == 2
+        assert len(snapshot["links"]) == database.state.graph.total_links()
+        altitudes = [sat["altitude_km"] for sat in snapshot["satellites"]]
+        assert all(700.0 < altitude < 860.0 for altitude in altitudes)
+
+    def test_snapshot_without_links(self, setup):
+        _, _, database, _ = setup
+        snapshot = constellation_snapshot(database.state, include_links=False)
+        assert "links" not in snapshot
+
+    def test_geojson_output(self, setup):
+        _, _, database, _ = setup
+        geojson = snapshot_to_geojson(database.state)
+        assert geojson["type"] == "FeatureCollection"
+        kinds = {feature["properties"]["kind"] for feature in geojson["features"]}
+        assert kinds == {"satellite", "ground_station"}
+        assert len(geojson["features"]) == 68
+        # JSON serialisable end to end.
+        json.dumps(geojson)

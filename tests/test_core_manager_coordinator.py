@@ -1,0 +1,212 @@
+"""Unit tests for the machine manager, coordinator and fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BoundingBox,
+    ComputeParams,
+    Configuration,
+    ConstellationCalculation,
+    ConstellationDatabase,
+    Coordinator,
+    FaultInjector,
+    GroundStationConfig,
+    MachineManager,
+    NetworkParams,
+    RadiationModel,
+    ShellConfig,
+)
+from repro.hosts import Host
+from repro.microvm import MachineState
+from repro.orbits import GroundStation, ShellGeometry
+from repro.sim import Simulation
+
+
+def _config(bounding_box=None):
+    return Configuration(
+        shells=(
+            ShellConfig(
+                name="iridium",
+                geometry=ShellGeometry(6, 11, 780.0, 90.0, 180.0),
+                network=NetworkParams(min_elevation_deg=8.2),
+                compute=ComputeParams(vcpu_count=1, memory_mib=1024),
+            ),
+        ),
+        ground_stations=(
+            GroundStationConfig(station=GroundStation("hawaii", 21.3, -157.9),
+                                compute=ComputeParams(vcpu_count=8, memory_mib=8192)),
+        ),
+        bounding_box=bounding_box,
+        update_interval_s=5.0,
+        duration_s=60.0,
+    )
+
+
+def _coordinator(bounding_box=None, host_count=2):
+    config = _config(bounding_box)
+    calculation = ConstellationCalculation(config)
+    database = ConstellationDatabase()
+    managers = [MachineManager(Host(index=i, allow_memory_overcommit=True)) for i in range(host_count)]
+    coordinator = Coordinator(config, calculation, database, managers)
+    return config, calculation, database, managers, coordinator
+
+
+class TestMachineManager:
+    def test_create_and_boot(self):
+        config, calculation, _, managers, _ = _coordinator()
+        manager = managers[0]
+        machine_id = calculation.satellite(0, 5)
+        microvm = manager.create_machine(machine_id, config.shells[0].compute)
+        assert microvm.state is MachineState.CREATED
+        finished = manager.boot(machine_id, 1.0)
+        assert 1.0 < finished < 2.0
+        assert manager.has_machine(machine_id)
+        assert manager.is_running_at(machine_id, finished + 0.1)
+        assert not manager.is_running_at(machine_id, 1.0 + 0.01)
+
+    def test_boot_all(self):
+        config, calculation, _, managers, _ = _coordinator()
+        manager = managers[0]
+        for identifier in range(3):
+            manager.create_machine(calculation.satellite(0, identifier), config.shells[0].compute)
+        finished = manager.boot_all(0.0)
+        assert finished < 1.0
+        assert manager.host.booted_machine_count() == 3
+
+    def test_apply_state_suspends_out_of_box_satellites(self):
+        box = BoundingBox(-20.0, 20.0, -180.0, -140.0)
+        config, calculation, _, managers, coordinator = _coordinator(bounding_box=box)
+        manager = managers[0]
+        state = calculation.state_at(0.0)
+        inside = int(np.nonzero(state.active_satellites[0])[0][0])
+        outside = int(np.nonzero(~state.active_satellites[0])[0][0])
+        for identifier in (inside, outside):
+            machine_id = calculation.satellite(0, identifier)
+            manager.create_machine(machine_id, config.shells[0].compute)
+            manager.boot(machine_id, 0.0)
+        manager.apply_state(state, 10.0)
+        assert manager.machine(calculation.satellite(0, inside)).state is MachineState.RUNNING
+        assert manager.machine(calculation.satellite(0, outside)).state is MachineState.SUSPENDED
+        assert manager.suspension_count == 1
+        # When the satellite comes back into the box it is resumed: emulate a
+        # later state in which the same satellite is active again.
+        resumed_state = calculation.state_at(0.0)
+        resumed_state.active_satellites[0][:] = True
+        manager.apply_state(resumed_state, 20.0)
+        assert manager.machine(calculation.satellite(0, outside)).state is MachineState.RUNNING
+        assert manager.resume_count == 1
+
+    def test_runtime_control(self):
+        config, calculation, _, managers, _ = _coordinator()
+        manager = managers[0]
+        machine_id = calculation.satellite(0, 2)
+        manager.create_machine(machine_id, config.shells[0].compute)
+        manager.boot(machine_id, 0.0)
+        manager.set_cpu_quota(machine_id, 0.5)
+        assert manager.machine(machine_id).cpu_quota.quota_fraction == 0.5
+        manager.set_busy_fraction(machine_id, 0.8)
+        manager.stop_machine(machine_id, 5.0)
+        assert not manager.is_running_at(machine_id, 6.0)
+        manager.reboot_machine(machine_id, 7.0)
+        assert manager.is_running_at(machine_id, 8.5)
+        sample = manager.sample_usage(10.0)
+        assert sample.firecracker_processes == 1
+
+
+class TestCoordinator:
+    def test_lazy_satellite_creation_without_box(self):
+        _, _, database, managers, coordinator = _coordinator()
+        coordinator.create_ground_stations(0.0)
+        coordinator.update(0.0)
+        assert database.has_state
+        created = sum(len(manager.host.machines) for manager in managers)
+        # All 66 satellites plus the ground station get microVMs.
+        assert created == 67
+
+    def test_lazy_satellite_creation_with_box(self):
+        box = BoundingBox(-20.0, 20.0, -180.0, -140.0)
+        _, _, _, managers, coordinator = _coordinator(bounding_box=box)
+        coordinator.create_ground_stations(0.0)
+        state = coordinator.update(0.0)
+        created = sum(len(manager.host.machines) for manager in managers)
+        assert created == state.active_count() + 1
+        assert created < 67
+
+    def test_machines_spread_across_hosts(self):
+        _, _, _, managers, coordinator = _coordinator(host_count=2)
+        coordinator.create_ground_stations(0.0)
+        coordinator.update(0.0)
+        counts = [len(manager.host.machines) for manager in managers]
+        assert all(count > 0 for count in counts)
+        assert sum(counts) == 67
+        # Placement balances reserved memory, not machine counts.
+        memory = [manager.host.reserved_memory_mib() for manager in managers]
+        assert abs(memory[0] - memory[1]) <= 8192.0
+
+    def test_manager_for_unknown_machine(self):
+        _, calculation, _, _, coordinator = _coordinator()
+        with pytest.raises(KeyError):
+            coordinator.manager_for(calculation.satellite(0, 0))
+
+    def test_run_updates_process(self):
+        config, _, database, _, coordinator = _coordinator()
+        sim = Simulation()
+        coordinator.create_ground_stations(0.0)
+        sim.process(coordinator.run_updates(sim, duration_s=20.0))
+        sim.run()
+        # Updates at t = 0, 5, 10, 15, 20.
+        assert coordinator.stats.count == 5
+        assert database.updated_at_s == 20.0
+        assert coordinator.stats.mean_wallclock_s > 0.0
+        assert coordinator.stats.max_wallclock_s >= coordinator.stats.mean_wallclock_s
+
+
+class TestFaultInjection:
+    def test_terminate_and_reboot(self):
+        config, calculation, _, managers, coordinator = _coordinator()
+        coordinator.create_ground_stations(0.0)
+        coordinator.update(0.0)
+        injector = FaultInjector(manager_resolver=coordinator.manager_for)
+        victim = calculation.satellite(0, 7)
+        injector.terminate(victim, 10.0)
+        assert not coordinator.manager_for(victim).is_running_at(victim, 11.0)
+        back_up = injector.reboot(victim, 12.0)
+        assert coordinator.manager_for(victim).is_running_at(victim, back_up + 0.1)
+        injector.degrade_cpu(victim, 0.25, 13.0)
+        assert coordinator.manager_for(victim).machine(victim).cpu_quota.quota_fraction == 0.25
+        injector.restore_cpu(victim, 14.0)
+        kinds = [event.kind for event in injector.events]
+        assert kinds == ["terminate", "reboot", "degrade-cpu", "restore-cpu"]
+
+    def test_packet_loss_requires_network(self):
+        _, calculation, _, _, coordinator = _coordinator()
+        injector = FaultInjector(manager_resolver=coordinator.manager_for, network=None)
+        with pytest.raises(RuntimeError):
+            injector.inject_packet_loss(
+                calculation.satellite(0, 0), calculation.satellite(0, 1), 0.5, 0.0
+            )
+
+    def test_radiation_model_injects_upsets(self):
+        config, calculation, _, managers, coordinator = _coordinator()
+        coordinator.create_ground_stations(0.0)
+        coordinator.update(0.0)
+        injector = FaultInjector(manager_resolver=coordinator.manager_for)
+        model = RadiationModel(events_per_machine_hour=2.0, rng=np.random.default_rng(3))
+        sim = Simulation()
+        machines = [calculation.satellite(0, identifier) for identifier in range(10)]
+        sim.process(model.process(sim, machines, injector))
+        sim.run(until=3600.0)
+        # Expectation: 2 events/hour/machine * 10 machines * 1 hour = ~20 upsets.
+        assert 5 <= len(model.upsets) <= 60
+        assert all(event.kind == "single-event-upset" for event in model.upsets)
+
+    def test_radiation_model_zero_rate(self):
+        model = RadiationModel(0.0)
+        sim = Simulation()
+        injector = FaultInjector(manager_resolver=lambda m: None)
+        sim.process(model.process(sim, [], injector))
+        sim.run()
+        assert model.upsets == []
+        with pytest.raises(ValueError):
+            RadiationModel(-1.0)

@@ -1,0 +1,218 @@
+"""Unit tests for the resource validator and the constellation calculation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BoundingBox,
+    ComputeParams,
+    Configuration,
+    ConstellationCalculation,
+    GroundStationConfig,
+    HostConfig,
+    MachineId,
+    NetworkParams,
+    ShellConfig,
+    estimate_resources,
+    validate_configuration,
+)
+from repro.orbits import GroundStation, ShellGeometry
+from repro.topology import LinkType
+
+
+def _iridium_config(**overrides):
+    parameters = dict(
+        shells=(
+            ShellConfig(
+                name="iridium",
+                geometry=ShellGeometry(6, 11, 780.0, 90.0, 180.0),
+                network=NetworkParams(
+                    isl_bandwidth_kbps=100_000.0,
+                    uplink_bandwidth_kbps=88.0,
+                    min_elevation_deg=8.2,
+                ),
+                compute=ComputeParams(vcpu_count=1, memory_mib=1024),
+            ),
+        ),
+        ground_stations=(
+            GroundStationConfig(station=GroundStation("hawaii", 21.3, -157.9),
+                                compute=ComputeParams(vcpu_count=8, memory_mib=8192),
+                                uplink_bandwidth_kbps=100_000.0),
+            GroundStationConfig(station=GroundStation("buoy-0", 10.0, -160.0)),
+            GroundStationConfig(station=GroundStation("buoy-1", -5.0, 170.0)),
+        ),
+        hosts=HostConfig(count=4, cpu_cores=32, memory_mib=32 * 1024),
+        update_interval_s=5.0,
+        duration_s=900.0,
+    )
+    parameters.update(overrides)
+    return Configuration(**parameters)
+
+
+class TestValidator:
+    def test_no_bounding_box_counts_all_satellites(self):
+        estimate = estimate_resources(_iridium_config())
+        assert estimate.satellites_in_box == 66
+        # 66 satellites with 1 vCPU, the 8-core central station and two buoys
+        # with the default 2-core allocation.
+        assert estimate.required_cores == 66 * 1 + 8 + 2 + 2
+        assert estimate.ground_station_count == 3
+
+    def test_bounding_box_reduces_estimate(self):
+        config = _iridium_config(bounding_box=BoundingBox(-20.0, 20.0, -180.0, -140.0))
+        estimate = estimate_resources(config)
+        assert 0 < estimate.satellites_in_box < 66
+
+    def test_memory_warning(self):
+        config = _iridium_config(hosts=HostConfig(count=1, cpu_cores=4, memory_mib=1024))
+        estimate = estimate_resources(config)
+        assert not estimate.memory_sufficient
+        assert any("memory" in warning for warning in estimate.warnings)
+
+    def test_cpu_overprovisioning_warning(self):
+        config = _iridium_config(hosts=HostConfig(count=1, cpu_cores=16, memory_mib=256 * 1024))
+        estimate = estimate_resources(config)
+        assert not estimate.cores_sufficient
+        assert estimate.overprovisioning_factor > 1.0
+        assert any("over-provisioning" in warning for warning in estimate.warnings)
+
+    def test_validate_configuration_flags_unreachable_ground_station(self):
+        config = _iridium_config(
+            shells=(
+                ShellConfig(
+                    name="equatorial",
+                    geometry=ShellGeometry(4, 10, 550.0, 10.0),
+                ),
+            ),
+            ground_stations=(
+                GroundStationConfig(station=GroundStation("svalbard", 78.0, 15.0)),
+            ),
+        )
+        warnings = validate_configuration(config)
+        assert any("beyond the coverage" in warning for warning in warnings)
+
+    def test_validate_configuration_flags_long_update_interval(self):
+        warnings = validate_configuration(_iridium_config(update_interval_s=30.0))
+        assert any("update interval" in warning for warning in warnings)
+
+    def test_validate_configuration_clean(self):
+        warnings = validate_configuration(_iridium_config())
+        assert warnings == []
+
+
+class TestConstellationCalculation:
+    def test_machine_identities(self):
+        calc = ConstellationCalculation(_iridium_config())
+        satellite = calc.satellite(0, 10)
+        assert satellite.name == "10.0.celestial"
+        assert satellite.is_satellite
+        ground = calc.ground_station("hawaii")
+        assert ground.is_ground_station
+        assert ground.shell == MachineId.GROUND_SHELL
+        machines = list(calc.machines())
+        assert len(machines) == 66 + 3
+        with pytest.raises(IndexError):
+            calc.satellite(0, 99)
+        with pytest.raises(IndexError):
+            calc.satellite(5, 0)
+        with pytest.raises(ValueError):
+            calc.ground_station("unknown")
+
+    def test_state_graph_composition(self):
+        calc = ConstellationCalculation(_iridium_config())
+        state = calc.state_at(0.0)
+        isl_links = [l for l in state.graph.links if l.link_type is LinkType.ISL]
+        uplink_links = [l for l in state.graph.links if l.link_type is LinkType.UPLINK]
+        # Walker-star +GRID: 2N - per_plane = 121 ISLs at most (minus any
+        # atmosphere-blocked seam links near the poles).
+        assert 100 <= len(isl_links) <= 121
+        assert len(uplink_links) >= 3
+        assert state.graph.total_links() == len(isl_links) + len(uplink_links)
+
+    def test_delays_and_reachability(self):
+        calc = ConstellationCalculation(_iridium_config())
+        state = calc.state_at(0.0)
+        hawaii = calc.ground_station("hawaii")
+        buoy = calc.ground_station("buoy-0")
+        delay = state.delay_ms(hawaii, buoy)
+        assert 5.0 < delay < 200.0
+        assert state.rtt_ms(hawaii, buoy) == pytest.approx(2 * delay)
+        assert state.reachable(hawaii, buoy)
+        assert state.delay_ms(hawaii, hawaii) == 0.0
+
+    def test_delay_between_ground_station_and_satellite(self):
+        calc = ConstellationCalculation(_iridium_config())
+        state = calc.state_at(0.0)
+        hawaii = calc.ground_station("hawaii")
+        uplink = state.uplinks_of("hawaii")[0]
+        satellite = calc.satellite(uplink.shell, uplink.satellite)
+        delay = state.delay_ms(hawaii, satellite)
+        assert delay == pytest.approx(uplink.delay_ms, rel=1e-6)
+        # Querying in the satellite->ground direction uses the symmetric path.
+        assert state.delay_ms(satellite, hawaii) == pytest.approx(delay)
+
+    def test_uplinks_sorted_by_distance(self):
+        calc = ConstellationCalculation(_iridium_config())
+        state = calc.state_at(0.0)
+        uplinks = state.uplinks_of("hawaii")
+        distances = [u.distance_km for u in uplinks]
+        assert distances == sorted(distances)
+
+    def test_bandwidth_bottleneck_is_sensor_uplink(self):
+        calc = ConstellationCalculation(_iridium_config())
+        state = calc.state_at(0.0)
+        hawaii = calc.ground_station("hawaii")
+        buoy = calc.ground_station("buoy-0")
+        # The buoy uplink is 88 kb/s which is the bottleneck of the path.
+        assert state.bandwidth_kbps(buoy, hawaii) == pytest.approx(88.0)
+
+    def test_bounding_box_activity(self):
+        config = _iridium_config(bounding_box=BoundingBox(-20.0, 20.0, -180.0, -140.0))
+        calc = ConstellationCalculation(config)
+        state = calc.state_at(0.0)
+        assert 0 < state.active_count() < 66
+        hawaii = calc.ground_station("hawaii")
+        assert state.is_active(hawaii)
+        inactive = [
+            calc.satellite(0, index)
+            for index in np.nonzero(~state.active_satellites[0])[0][:1]
+        ]
+        assert not state.is_active(inactive[0])
+
+    def test_no_bounding_box_all_active(self):
+        calc = ConstellationCalculation(_iridium_config())
+        assert calc.state_at(0.0).active_count() == 66
+
+    def test_state_changes_over_time(self):
+        calc = ConstellationCalculation(_iridium_config())
+        hawaii = calc.ground_station("hawaii")
+        buoy = calc.ground_station("buoy-1")
+        delays = {t: calc.state_at(t).delay_ms(hawaii, buoy) for t in (0.0, 60.0, 120.0)}
+        assert len(set(round(d, 3) for d in delays.values())) > 1
+
+    def test_satellite_position_geodetic(self):
+        calc = ConstellationCalculation(_iridium_config())
+        state = calc.state_at(0.0)
+        lat, lon = state.satellite_position_geodetic(0, 0)
+        assert -90.0 <= lat <= 90.0
+        assert -180.0 <= lon <= 180.0
+
+    def test_satellite_to_satellite_query_with_ground_station_sources(self):
+        # With the default (ground-station) path sources, satellite-to-satellite
+        # queries fall back to a lazily computed single-source Dijkstra run.
+        calc = ConstellationCalculation(_iridium_config())
+        state = calc.state_at(0.0)
+        a = calc.satellite(0, 0)
+        b = calc.satellite(0, 1)
+        delay = state.delay_ms(a, b)
+        assert np.isfinite(delay)
+        assert delay > 0.0
+        assert state.delay_ms(a, b) == pytest.approx(state.delay_ms(b, a))
+
+    def test_path_sources_all_allows_sat_to_sat(self):
+        calc = ConstellationCalculation(_iridium_config(), path_sources="all")
+        state = calc.state_at(0.0)
+        a = calc.satellite(0, 0)
+        b = calc.satellite(0, 30)
+        assert np.isfinite(state.delay_ms(a, b))
+        assert state.path(a, b).hop_count >= 1

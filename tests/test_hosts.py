@@ -1,0 +1,173 @@
+"""Unit tests for hosts, resource traces and machine placement."""
+
+import numpy as np
+import pytest
+
+from repro.hosts import (
+    Host,
+    HostError,
+    PlacementError,
+    ResourceTrace,
+    UsageSample,
+    place_machines,
+)
+from repro.microvm import MachineResources, MicroVM
+
+
+def _machine(name, vcpus=2, memory=512):
+    return MicroVM(name, MachineResources(vcpu_count=vcpus, memory_mib=memory),
+                   rng=np.random.default_rng(0))
+
+
+class TestResourceTrace:
+    def test_record_and_query(self):
+        trace = ResourceTrace()
+        for t in range(5):
+            trace.record(UsageSample(
+                time_s=float(t),
+                machine_manager_cpu_percent=0.2,
+                microvm_cpu_percent=10.0 + t,
+                machine_manager_memory_percent=4.0,
+                microvm_memory_percent=12.0,
+                firecracker_processes=40,
+            ))
+        assert len(trace) == 5
+        assert trace.peak_cpu_percent() == pytest.approx(14.2)
+        assert trace.peak_memory_percent() == pytest.approx(16.0)
+        assert trace.mean_cpu_percent(after_s=3.0) == pytest.approx(0.2 + 13.5)
+        assert trace.cpu_percent().shape == (5,)
+        assert trace.firecracker_processes()[0] == 40
+
+    def test_out_of_order_samples_rejected(self):
+        trace = ResourceTrace()
+        sample = UsageSample(5.0, 0.2, 1.0, 4.0, 10.0, 3)
+        trace.record(sample)
+        with pytest.raises(ValueError):
+            trace.record(UsageSample(4.0, 0.2, 1.0, 4.0, 10.0, 3))
+
+    def test_empty_trace(self):
+        trace = ResourceTrace()
+        assert trace.peak_cpu_percent() == 0.0
+        assert trace.mean_cpu_percent() == 0.0
+
+
+class TestHost:
+    def test_memory_is_hard_constraint(self):
+        host = Host(index=0, cpu_cores=4, memory_mib=1024)
+        host.place(_machine("a", memory=512))
+        host.place(_machine("b", memory=512))
+        # Machines reserve memory only once booted; placement checks the
+        # allocation limit regardless.
+        with pytest.raises(HostError):
+            host.place(_machine("c", memory=512))
+
+    def test_memory_accounting_follows_boot(self):
+        host = Host(index=0, cpu_cores=4, memory_mib=4096)
+        machine = _machine("a", memory=1024)
+        host.place(machine)
+        assert host.allocated_memory_mib() == 0.0
+        machine.boot(0.0)
+        assert host.allocated_memory_mib() == 1024.0
+        assert host.microvm_memory_percent() == pytest.approx(25.0)
+
+    def test_cpu_overprovisioning_allowed(self):
+        host = Host(index=0, cpu_cores=4, memory_mib=32 * 1024)
+        for i in range(10):
+            host.place(_machine(f"m{i}", vcpus=2, memory=512))
+        assert host.allocated_vcpus() == 20
+        assert host.allocated_vcpus() > host.cpu_cores
+
+    def test_duplicate_placement_rejected(self):
+        host = Host(index=0)
+        machine = _machine("a")
+        host.place(machine)
+        with pytest.raises(HostError):
+            host.place(machine)
+
+    def test_busy_fraction_affects_cpu_usage(self):
+        host = Host(index=0, cpu_cores=32, memory_mib=32 * 1024)
+        machine = _machine("client", vcpus=4, memory=4096)
+        host.place(machine)
+        machine.boot(0.0)
+        idle_usage = host.cpu_cores_in_use()
+        host.set_busy_fraction("client", 1.0)
+        assert host.cpu_cores_in_use() == pytest.approx(4.0)
+        assert host.cpu_cores_in_use() > idle_usage
+        with pytest.raises(ValueError):
+            host.set_busy_fraction("client", 1.5)
+        with pytest.raises(HostError):
+            host.set_busy_fraction("ghost", 0.5)
+
+    def test_usage_sampling(self):
+        host = Host(index=0, cpu_cores=32, memory_mib=32 * 1024)
+        rng = np.random.default_rng(3)
+        machines = [_machine(f"sat-{i}", vcpus=2, memory=512) for i in range(20)]
+        for machine in machines:
+            host.place(machine)
+            machine.boot(0.0)
+        setup = host.sample_usage(0.0, setup_phase=True, rng=rng)
+        steady = host.sample_usage(60.0, rng=rng)
+        assert setup.machine_manager_cpu_percent > steady.machine_manager_cpu_percent
+        assert steady.firecracker_processes == 20
+        assert steady.microvm_memory_percent == pytest.approx(100.0 * 20 * 512 / (32 * 1024))
+        assert len(host.trace) == 2
+
+    def test_remove_machine(self):
+        host = Host(index=0)
+        machine = _machine("a")
+        host.place(machine)
+        host.remove("a")
+        assert host.machines == {}
+        with pytest.raises(HostError):
+            host.machine("a")
+
+    def test_invalid_host_resources(self):
+        with pytest.raises(ValueError):
+            Host(index=0, cpu_cores=0)
+
+
+class TestPlacement:
+    def test_round_robin_by_free_memory(self):
+        hosts = [Host(index=i, cpu_cores=32, memory_mib=8192) for i in range(3)]
+        machines = [_machine(f"sat-{i}", memory=1024) for i in range(9)]
+        placement = place_machines(machines, hosts)
+        counts = [len(placement.machines_on(i)) for i in range(3)]
+        assert sum(counts) == 9
+        assert max(counts) - min(counts) <= 1
+
+    def test_affinity_group_shares_host(self):
+        hosts = [Host(index=i, cpu_cores=32, memory_mib=32 * 1024) for i in range(3)]
+        machines = [_machine(f"client-{i}", vcpus=4, memory=4096) for i in range(3)]
+        machines += [_machine(f"sat-{i}", memory=512) for i in range(10)]
+        placement = place_machines(
+            machines, hosts, affinity_groups=[["client-0", "client-1", "client-2"]]
+        )
+        assert placement.colocated("client-0", "client-1")
+        assert placement.colocated("client-1", "client-2")
+
+    def test_unplaceable_machine_raises(self):
+        hosts = [Host(index=0, cpu_cores=4, memory_mib=1024)]
+        machines = [_machine("big", memory=2048)]
+        with pytest.raises(PlacementError):
+            place_machines(machines, hosts)
+
+    def test_unknown_affinity_member_raises(self):
+        hosts = [Host(index=0)]
+        with pytest.raises(PlacementError):
+            place_machines([_machine("a")], hosts, affinity_groups=[["a", "ghost"]])
+
+    def test_no_hosts_raises(self):
+        with pytest.raises(PlacementError):
+            place_machines([_machine("a")], [])
+
+    def test_duplicate_machine_names_raise(self):
+        hosts = [Host(index=0)]
+        with pytest.raises(PlacementError):
+            place_machines([_machine("a"), _machine("a")], hosts)
+
+    def test_placement_lookup_errors(self):
+        hosts = [Host(index=0)]
+        placement = place_machines([_machine("a")], hosts)
+        assert placement.host_for("a") == 0
+        with pytest.raises(KeyError):
+            placement.host_for("ghost")

@@ -1,0 +1,137 @@
+"""Unit tests for the paper's scenario configurations."""
+
+import pytest
+
+from repro.core import validate_configuration
+from repro.scenarios import (
+    CLIENT_LOCATIONS,
+    PACIFIC_TSUNAMI_WARNING_CENTER,
+    dart_configuration,
+    generate_buoys,
+    generate_sinks,
+    iridium_shell,
+    starlink_first_shell,
+    starlink_phase1_shells,
+    starlink_phase1_total_satellites,
+    west_africa_bounding_box,
+    west_africa_configuration,
+)
+
+
+class TestStarlink:
+    def test_phase1_totals(self):
+        shells = starlink_phase1_shells()
+        assert len(shells) == 5
+        totals = [shell.geometry.total_satellites for shell in shells]
+        assert totals == [1584, 1600, 400, 375, 450]
+        assert starlink_phase1_total_satellites() == 4409
+
+    def test_first_shell_geometry(self):
+        shell = starlink_first_shell()
+        assert shell.geometry.planes == 72
+        assert shell.geometry.satellites_per_plane == 22
+        assert shell.geometry.altitude_km == 550.0
+        assert shell.geometry.inclination_deg == 53.0
+
+    def test_limit_parameter(self):
+        assert len(starlink_phase1_shells(limit=2)) == 2
+
+    def test_altitudes_match_paper(self):
+        altitudes = [shell.geometry.altitude_km for shell in starlink_phase1_shells()]
+        assert altitudes == [550.0, 1110.0, 1130.0, 1275.0, 1325.0]
+
+
+class TestIridium:
+    def test_geometry_matches_paper(self):
+        shell = iridium_shell()
+        assert shell.geometry.total_satellites == 66
+        assert shell.geometry.planes == 6
+        assert shell.geometry.altitude_km == 780.0
+        assert shell.geometry.arc_of_ascending_nodes_deg == 180.0
+        assert shell.geometry.is_polar_star
+
+    def test_sensor_bandwidth(self):
+        shell = iridium_shell()
+        assert shell.network.uplink_bandwidth_kbps == 88.0
+        assert shell.network.isl_bandwidth_kbps == 100_000.0
+
+
+class TestWestAfrica:
+    def test_configuration_composition(self):
+        config = west_africa_configuration(duration_s=60.0)
+        assert config.duration_s == 60.0
+        assert config.update_interval_s == 2.0
+        names = set(config.ground_station_names)
+        assert {"accra", "abuja", "yaounde", "johannesburg-cloud", "johannesburg-tracking"} == names
+        assert config.hosts.count == 3
+        assert config.hosts.total_cores == 96
+
+    def test_client_resources_match_paper(self):
+        config = west_africa_configuration()
+        accra = config.ground_station_config("accra")
+        assert accra.compute.vcpu_count == 4
+        assert accra.compute.memory_mib == 4096
+        bridge = config.ground_station_config("johannesburg-cloud")
+        assert bridge.compute.vcpu_count == 2
+        assert bridge.compute.memory_mib == 512
+
+    def test_bounding_box_contains_clients_but_not_johannesburg(self):
+        box = west_africa_bounding_box()
+        for station in CLIENT_LOCATIONS.values():
+            assert box.contains(station.latitude_deg, station.longitude_deg)
+        assert not box.contains(-26.2, 28.0)
+
+    def test_shell_selection(self):
+        assert len(west_africa_configuration(shells="all").shells) == 5
+        assert len(west_africa_configuration(shells="two-lowest").shells) == 2
+        assert len(west_africa_configuration(shells="lowest").shells) == 1
+
+    def test_no_bounding_box_option(self):
+        config = west_africa_configuration(use_bounding_box=False)
+        assert config.bounding_box is None
+
+    def test_validates_cleanly(self):
+        warnings = validate_configuration(west_africa_configuration(shells="lowest"))
+        # Over-provisioning of CPU cores is expected (the paper relies on it).
+        assert all("memory" not in warning for warning in warnings)
+
+
+class TestPacific:
+    def test_buoys_and_sinks_deterministic(self):
+        assert [b.name for b in generate_buoys(5)] == [f"buoy-{i}" for i in range(5)]
+        first = [(b.latitude_deg, b.longitude_deg) for b in generate_buoys(10)]
+        second = [(b.latitude_deg, b.longitude_deg) for b in generate_buoys(10)]
+        assert first == second
+
+    def test_buoys_in_pacific(self):
+        for buoy in generate_buoys(50):
+            assert -40.0 <= buoy.latitude_deg <= 50.0
+            assert buoy.longitude_deg >= 150.0 or buoy.longitude_deg <= -120.0
+
+    def test_sinks_near_buoys(self):
+        buoys = generate_buoys(20)
+        sinks = generate_sinks(buoys, 40)
+        assert len(sinks) == 40
+        for sink in sinks:
+            assert -60.0 <= sink.latitude_deg <= 60.0
+
+    def test_dart_configuration_counts(self):
+        config = dart_configuration(buoy_count=100, sink_count=200)
+        assert config.total_satellites == 66
+        assert len(config.ground_stations) == 301
+        assert config.update_interval_s == 5.0
+        assert config.hosts.count == 4
+        central = config.ground_station_config(PACIFIC_TSUNAMI_WARNING_CENTER.name)
+        assert central.compute.vcpu_count == 8
+        assert central.compute.memory_mib == 8192
+
+    def test_dart_configuration_satellite_resources(self):
+        config = dart_configuration(deployment="satellite", buoy_count=10, sink_count=10)
+        assert config.shells[0].compute.vcpu_count == 1
+        assert config.shells[0].compute.memory_mib == 1024
+        buoy = config.ground_station_config("buoy-0")
+        assert buoy.uplink_bandwidth_kbps == 88.0
+
+    def test_invalid_deployment(self):
+        with pytest.raises(ValueError):
+            dart_configuration(deployment="fog")

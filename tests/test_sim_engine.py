@@ -1,0 +1,251 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Event, Interrupt, Simulation, SimulationError
+
+
+def test_timeout_advances_time():
+    sim = Simulation()
+    log = []
+
+    def proc():
+        yield sim.timeout(5.0)
+        log.append(sim.now)
+        yield sim.timeout(2.5)
+        log.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert log == [5.0, 7.5]
+    assert sim.now == 7.5
+
+
+def test_negative_timeout_rejected():
+    sim = Simulation()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1.0)
+
+
+def test_run_until_stops_early():
+    sim = Simulation()
+    fired = []
+
+    def proc():
+        yield sim.timeout(10.0)
+        fired.append(True)
+
+    sim.process(proc())
+    sim.run(until=3.0)
+    assert sim.now == 3.0
+    assert not fired
+    sim.run()
+    assert fired == [True]
+
+
+def test_events_at_same_time_fifo_order():
+    sim = Simulation()
+    order = []
+
+    def proc(name):
+        yield sim.timeout(1.0)
+        order.append(name)
+
+    for name in ["a", "b", "c", "d"]:
+        sim.process(proc(name))
+    sim.run()
+    assert order == ["a", "b", "c", "d"]
+
+
+def test_process_return_value_propagates():
+    sim = Simulation()
+    results = []
+
+    def child():
+        yield sim.timeout(1.0)
+        return 42
+
+    def parent():
+        value = yield sim.process(child())
+        results.append(value)
+
+    sim.process(parent())
+    sim.run()
+    assert results == [42]
+
+
+def test_waiting_on_already_finished_process():
+    sim = Simulation()
+    results = []
+
+    def child():
+        yield sim.timeout(1.0)
+        return "done"
+
+    def parent(child_proc):
+        yield sim.timeout(5.0)
+        value = yield child_proc
+        results.append((sim.now, value))
+
+    child_proc = sim.process(child())
+    sim.process(parent(child_proc))
+    sim.run()
+    assert results == [(5.0, "done")]
+
+
+def test_event_succeed_wakes_waiter():
+    sim = Simulation()
+    event = sim.event()
+    woke = []
+
+    def waiter():
+        value = yield event
+        woke.append((sim.now, value))
+
+    def trigger():
+        yield sim.timeout(3.0)
+        event.succeed("payload")
+
+    sim.process(waiter())
+    sim.process(trigger())
+    sim.run()
+    assert woke == [(3.0, "payload")]
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulation()
+    event = sim.event()
+    event.succeed()
+    with pytest.raises(SimulationError):
+        event.succeed()
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulation()
+    event = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield event
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    def trigger():
+        yield sim.timeout(1.0)
+        event.fail(ValueError("boom"))
+
+    sim.process(waiter())
+    sim.process(trigger())
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_interrupt_process():
+    sim = Simulation()
+    log = []
+
+    def worker():
+        try:
+            yield sim.timeout(100.0)
+            log.append("finished")
+        except Interrupt as interrupt:
+            log.append(("interrupted", sim.now, interrupt.cause))
+
+    def interrupter(proc):
+        yield sim.timeout(2.0)
+        proc.interrupt("fault")
+
+    proc = sim.process(worker())
+    sim.process(interrupter(proc))
+    sim.run()
+    assert log == [("interrupted", 2.0, "fault")]
+
+
+def test_all_of_waits_for_all():
+    sim = Simulation()
+    done = []
+
+    def parent():
+        timeouts = [sim.timeout(t) for t in (1.0, 4.0, 2.0)]
+        yield sim.all_of(timeouts)
+        done.append(sim.now)
+
+    sim.process(parent())
+    sim.run()
+    assert done == [4.0]
+
+
+def test_any_of_waits_for_first():
+    sim = Simulation()
+    done = []
+
+    def parent():
+        timeouts = [sim.timeout(t) for t in (3.0, 1.0, 2.0)]
+        yield sim.any_of(timeouts)
+        done.append(sim.now)
+
+    sim.process(parent())
+    sim.run()
+    assert done == [1.0]
+
+
+def test_yield_non_event_raises():
+    sim = Simulation()
+
+    def bad():
+        yield 5
+
+    sim.process(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_processed_events_counter():
+    sim = Simulation()
+
+    def proc():
+        yield sim.timeout(1.0)
+        yield sim.timeout(1.0)
+
+    sim.process(proc())
+    sim.run()
+    assert sim.processed_events >= 3
+
+
+def test_peek_empty_queue_is_infinite():
+    sim = Simulation()
+    sim.run()
+    assert sim.peek() == float("inf")
+
+
+def test_run_until_past_raises():
+    sim = Simulation()
+
+    def proc():
+        yield sim.timeout(10.0)
+
+    sim.process(proc())
+    sim.run(until=10.0)
+    with pytest.raises(SimulationError):
+        sim.run(until=5.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1000.0), min_size=1, max_size=30))
+def test_property_time_is_monotone_and_matches_max_delay(delays):
+    sim = Simulation()
+    observed = []
+
+    def proc(delay):
+        yield sim.timeout(delay)
+        observed.append(sim.now)
+
+    for delay in delays:
+        sim.process(proc(delay))
+    sim.run()
+    assert observed == sorted(observed)
+    assert sim.now == pytest.approx(max(delays))
+    assert len(observed) == len(delays)

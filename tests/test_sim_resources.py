@@ -1,0 +1,119 @@
+"""Unit tests for simulation stores and resources."""
+
+import pytest
+
+from repro.sim import Resource, Simulation, SimulationError, Store
+
+
+def test_store_put_get_fifo():
+    sim = Simulation()
+    store = Store(sim)
+    received = []
+
+    def producer():
+        for item in ["a", "b", "c"]:
+            yield sim.timeout(1.0)
+            store.put(item)
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            received.append((sim.now, item))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert received == [(1.0, "a"), (2.0, "b"), (3.0, "c")]
+
+
+def test_store_get_before_put_blocks():
+    sim = Simulation()
+    store = Store(sim)
+    received = []
+
+    def consumer():
+        item = yield store.get()
+        received.append((sim.now, item))
+
+    def producer():
+        yield sim.timeout(7.0)
+        store.put("late")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert received == [(7.0, "late")]
+
+
+def test_store_capacity_blocks_put():
+    sim = Simulation()
+    store = Store(sim, capacity=1)
+    log = []
+
+    def producer():
+        yield store.put("first")
+        log.append(("first-accepted", sim.now))
+        yield store.put("second")
+        log.append(("second-accepted", sim.now))
+
+    def consumer():
+        yield sim.timeout(5.0)
+        item = yield store.get()
+        log.append(("got", item, sim.now))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert ("first-accepted", 0.0) in log
+    assert ("got", "first", 5.0) in log
+    assert ("second-accepted", 5.0) in log
+
+
+def test_store_items_snapshot_and_len():
+    sim = Simulation()
+    store = Store(sim)
+    store.put(1)
+    store.put(2)
+    assert len(store) == 2
+    assert store.items == [1, 2]
+
+
+def test_store_invalid_capacity():
+    sim = Simulation()
+    with pytest.raises(SimulationError):
+        Store(sim, capacity=0)
+
+
+def test_resource_limits_concurrency():
+    sim = Simulation()
+    resource = Resource(sim, capacity=2)
+    active = []
+    max_active = []
+
+    def worker(name):
+        yield resource.request()
+        active.append(name)
+        max_active.append(len(active))
+        yield sim.timeout(10.0)
+        active.remove(name)
+        resource.release()
+
+    for i in range(5):
+        sim.process(worker(i))
+    sim.run()
+    assert max(max_active) == 2
+    assert resource.in_use == 0
+    assert resource.available == 2
+
+
+def test_resource_release_without_request_raises():
+    sim = Simulation()
+    resource = Resource(sim)
+    with pytest.raises(SimulationError):
+        resource.release()
+
+
+def test_resource_invalid_capacity():
+    sim = Simulation()
+    with pytest.raises(SimulationError):
+        Resource(sim, capacity=0)

@@ -1,0 +1,221 @@
+"""Unit tests for the network graph, uplink selection and shortest paths."""
+
+import numpy as np
+import pytest
+
+from repro.orbits import Shell, ShellGeometry, GroundStation, geodetic_to_ecef
+from repro.topology import (
+    Link,
+    LinkType,
+    NetworkGraph,
+    NodeIndex,
+    ShortestPaths,
+    visible_satellites,
+)
+from repro.topology.uplinks import closest_visible_satellite
+
+
+def _simple_index():
+    return NodeIndex(shell_sizes=[4], ground_station_names=["gst-a", "gst-b"])
+
+
+def _line_graph():
+    """0 -1ms- 1 -2ms- 2 -3ms- 3, gst-a connected to 0, gst-b connected to 3."""
+    index = _simple_index()
+    graph = NetworkGraph(index)
+    delays = {(0, 1): 1.0, (1, 2): 2.0, (2, 3): 3.0}
+    for (a, b), delay in delays.items():
+        graph.add_link(Link(a, b, delay * 300.0, delay, 10_000.0, LinkType.ISL))
+    graph.add_link(Link(index.ground_station("gst-a"), 0, 300.0, 1.0, 10_000.0, LinkType.UPLINK))
+    graph.add_link(Link(index.ground_station("gst-b"), 3, 300.0, 1.0, 10_000.0, LinkType.UPLINK))
+    return index, graph
+
+
+class TestNodeIndex:
+    def test_flat_indices(self):
+        index = NodeIndex(shell_sizes=[3, 5], ground_station_names=["x"])
+        assert index.satellite(0, 0) == 0
+        assert index.satellite(0, 2) == 2
+        assert index.satellite(1, 0) == 3
+        assert index.satellite(1, 4) == 7
+        assert index.ground_station("x") == 8
+        assert len(index) == 9
+
+    def test_describe_roundtrip(self):
+        index = NodeIndex(shell_sizes=[3, 5], ground_station_names=["x", "y"])
+        assert index.describe(4) == ("sat", 1, 1)
+        assert index.describe(9) == ("gst", -1, "y")
+
+    def test_ranges(self):
+        index = NodeIndex(shell_sizes=[3, 5], ground_station_names=["x", "y"])
+        assert list(index.satellites_of_shell(1)) == [3, 4, 5, 6, 7]
+        assert list(index.ground_station_indices()) == [8, 9]
+        assert index.is_satellite(0) and not index.is_ground_station(0)
+        assert index.is_ground_station(8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeIndex([3], ["a", "a"])
+        with pytest.raises(ValueError):
+            NodeIndex([0], [])
+        index = _simple_index()
+        with pytest.raises(IndexError):
+            index.satellite(0, 99)
+        with pytest.raises(IndexError):
+            index.satellite(5, 0)
+        with pytest.raises(KeyError):
+            index.ground_station("nope")
+        with pytest.raises(IndexError):
+            index.describe(100)
+
+
+class TestNetworkGraph:
+    def test_add_and_query_links(self):
+        index, graph = _line_graph()
+        assert graph.total_links() == 5
+        assert graph.degree(1) == 2
+        assert graph.link_between(0, 1).delay_ms == 1.0
+        assert graph.link_between(0, 3) is None
+        assert graph.bandwidth_between(0, 1) == 10_000.0
+        assert graph.bandwidth_between(0, 3) == 0.0
+
+    def test_link_other_endpoint(self):
+        link = Link(1, 2, 100.0, 0.5, 1000.0)
+        assert link.other(1) == 2
+        assert link.other(2) == 1
+        with pytest.raises(ValueError):
+            link.other(3)
+
+    def test_invalid_links_rejected(self):
+        index, graph = _line_graph()
+        with pytest.raises(ValueError):
+            graph.add_link(Link(0, 0, 1.0, 1.0, 1.0))
+        with pytest.raises(ValueError):
+            graph.add_link(Link(0, 99, 1.0, 1.0, 1.0))
+
+    def test_delay_matrix_symmetric(self):
+        _, graph = _line_graph()
+        matrix = graph.delay_matrix().toarray()
+        np.testing.assert_allclose(matrix, matrix.T)
+        assert matrix[0, 1] == 1.0
+
+    def test_networkx_export(self):
+        _, graph = _line_graph()
+        nx_graph = graph.as_networkx()
+        assert nx_graph.number_of_edges() == 5
+        assert nx_graph[0][1]["delay_ms"] == 1.0
+
+    def test_empty_graph_delay_matrix(self):
+        index = _simple_index()
+        graph = NetworkGraph(index)
+        assert graph.delay_matrix().nnz == 0
+
+
+class TestShortestPaths:
+    def test_end_to_end_delay(self):
+        index, graph = _line_graph()
+        paths = ShortestPaths(graph, sources=[index.ground_station("gst-a")])
+        gst_a = index.ground_station("gst-a")
+        gst_b = index.ground_station("gst-b")
+        assert paths.delay_ms(gst_a, gst_b) == pytest.approx(1.0 + 1.0 + 2.0 + 3.0 + 1.0)
+        assert paths.rtt_ms(gst_a, gst_b) == pytest.approx(16.0)
+
+    def test_path_reconstruction(self):
+        index, graph = _line_graph()
+        gst_a = index.ground_station("gst-a")
+        gst_b = index.ground_station("gst-b")
+        paths = ShortestPaths(graph, sources=[gst_a])
+        result = paths.path(gst_a, gst_b)
+        assert result.hops == (gst_a, 0, 1, 2, 3, gst_b)
+        assert result.hop_count == 5
+        assert result.reachable
+
+    def test_unreachable_node(self):
+        index = NodeIndex([2], ["isolated"])
+        graph = NetworkGraph(index)
+        graph.add_link(Link(0, 1, 300.0, 1.0, 1000.0))
+        paths = ShortestPaths(graph, sources=[0])
+        isolated = index.ground_station("isolated")
+        assert not paths.reachable(0, isolated)
+        assert paths.path(0, isolated).hops == ()
+        assert not paths.path(0, isolated).reachable
+
+    def test_self_path(self):
+        index, graph = _line_graph()
+        paths = ShortestPaths(graph, sources=[0])
+        result = paths.path(0, 0)
+        assert result.delay_ms == 0.0
+        assert result.hops == (0,)
+
+    def test_dijkstra_and_floyd_warshall_agree(self):
+        index, graph = _line_graph()
+        dijkstra = ShortestPaths(graph, method="dijkstra")
+        floyd = ShortestPaths(graph, method="floyd-warshall")
+        for a in range(len(index)):
+            for b in range(len(index)):
+                assert dijkstra.delay_ms(a, b) == pytest.approx(floyd.delay_ms(a, b))
+
+    def test_unknown_method_and_sources_validation(self):
+        index, graph = _line_graph()
+        with pytest.raises(ValueError):
+            ShortestPaths(graph, method="bellman-ford")
+        with pytest.raises(ValueError):
+            ShortestPaths(graph, sources=[])
+        with pytest.raises(ValueError):
+            ShortestPaths(graph, sources=[999])
+        paths = ShortestPaths(graph, sources=[0])
+        with pytest.raises(KeyError):
+            paths.delay_ms(1, 2)
+
+    def test_nearest_selection(self):
+        index, graph = _line_graph()
+        gst_a = index.ground_station("gst-a")
+        paths = ShortestPaths(graph, sources=[gst_a])
+        assert paths.nearest(gst_a, [2, 3]) == 2
+        assert paths.nearest(gst_a, []) is None
+
+    def test_delays_from_vector(self):
+        index, graph = _line_graph()
+        paths = ShortestPaths(graph, sources=[0])
+        delays = paths.delays_from(0)
+        assert delays.shape == (len(index),)
+        assert delays[0] == 0.0
+
+
+class TestUplinks:
+    def test_visible_satellites_directly_overhead(self):
+        shell = Shell(ShellGeometry(6, 11, 780.0, 86.4, 180.0))
+        positions = shell.positions_eci(0.0)
+        ground = geodetic_to_ecef(0.0, 0.0, 0.0)
+        visible, distances = visible_satellites(ground, positions, min_elevation_deg=10.0)
+        assert visible.size > 0
+        # Slant range can be marginally below the nominal altitude because the
+        # WGS-84 equatorial radius exceeds the spherical radius used for the shell.
+        assert np.all(distances >= 770.0)
+        assert np.all(distances < 3500.0)
+
+    def test_higher_min_elevation_reduces_visibility(self):
+        shell = Shell(ShellGeometry(6, 11, 780.0, 86.4, 180.0))
+        positions = shell.positions_eci(0.0)
+        ground = geodetic_to_ecef(30.0, 45.0, 0.0)
+        lenient, _ = visible_satellites(ground, positions, min_elevation_deg=5.0)
+        strict, _ = visible_satellites(ground, positions, min_elevation_deg=60.0)
+        assert strict.size <= lenient.size
+
+    def test_closest_visible_satellite(self):
+        shell = Shell(ShellGeometry(6, 11, 780.0, 86.4, 180.0))
+        positions = shell.positions_eci(0.0)
+        ground = geodetic_to_ecef(0.0, 0.0, 0.0)
+        result = closest_visible_satellite(ground, positions, min_elevation_deg=10.0)
+        assert result is not None
+        index, distance = result
+        visible, distances = visible_satellites(ground, positions, min_elevation_deg=10.0)
+        assert distance == pytest.approx(float(np.min(distances)))
+        assert index in set(visible.tolist())
+
+    def test_no_visible_satellite_returns_none(self):
+        # A single-satellite shell on the other side of the planet.
+        shell = Shell(ShellGeometry(1, 1, 550.0, 0.0))
+        positions = shell.positions_eci(0.0)
+        antipode = geodetic_to_ecef(0.0, 180.0, 0.0)
+        assert closest_visible_satellite(antipode, positions, 25.0) is None

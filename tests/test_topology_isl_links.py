@@ -1,0 +1,109 @@
+"""Unit tests for ISL topology generation and link parameter computation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.orbits import ShellGeometry, constants
+from repro.topology import (
+    grid_plus_isl_pairs,
+    link_delay_ms,
+    propagation_delay_ms,
+    serialization_delay_ms,
+)
+from repro.topology.isl import isl_count
+from repro.topology.linkparams import fiber_delay_ms
+
+
+class TestGridPlusISL:
+    def test_delta_shell_has_two_links_per_satellite(self):
+        geometry = ShellGeometry(planes=6, satellites_per_plane=10, altitude_km=550.0,
+                                 inclination_deg=53.0, arc_of_ascending_nodes_deg=360.0)
+        pairs = grid_plus_isl_pairs(geometry)
+        # +GRID: every satellite has 4 links (2 intra-plane, 2 inter-plane),
+        # so the undirected link count is 2 * N.
+        assert len(pairs) == 2 * geometry.total_satellites
+
+    def test_star_shell_misses_seam_links(self):
+        star = ShellGeometry(planes=6, satellites_per_plane=11, altitude_km=780.0,
+                             inclination_deg=86.4, arc_of_ascending_nodes_deg=180.0)
+        pairs = grid_plus_isl_pairs(star)
+        # The seam between the first and last plane removes satellites_per_plane links.
+        assert len(pairs) == 2 * star.total_satellites - star.satellites_per_plane
+
+    def test_iridium_seam_has_no_cross_links(self):
+        star = ShellGeometry(planes=6, satellites_per_plane=11, altitude_km=780.0,
+                             inclination_deg=86.4, arc_of_ascending_nodes_deg=180.0)
+        pairs = grid_plus_isl_pairs(star)
+        first_plane = set(range(11))
+        last_plane = set(range(5 * 11, 6 * 11))
+        for a, b in pairs:
+            assert not (a in first_plane and b in last_plane)
+            assert not (a in last_plane and b in first_plane)
+
+    def test_pairs_are_unique_and_ordered(self):
+        geometry = ShellGeometry(4, 5, 550.0, 53.0)
+        pairs = grid_plus_isl_pairs(geometry)
+        assert len(pairs) == len(set(pairs))
+        assert all(a < b for a, b in pairs)
+
+    def test_single_plane_ring(self):
+        geometry = ShellGeometry(planes=1, satellites_per_plane=8, altitude_km=550.0,
+                                 inclination_deg=53.0)
+        pairs = grid_plus_isl_pairs(geometry)
+        assert len(pairs) == 8
+
+    def test_two_satellite_plane_single_link(self):
+        geometry = ShellGeometry(planes=1, satellites_per_plane=2, altitude_km=550.0,
+                                 inclination_deg=53.0)
+        assert isl_count(geometry) == 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(planes=st.integers(min_value=2, max_value=12),
+           per_plane=st.integers(min_value=3, max_value=20))
+    def test_property_every_satellite_has_three_to_four_links(self, planes, per_plane):
+        geometry = ShellGeometry(planes, per_plane, 550.0, 53.0,
+                                 arc_of_ascending_nodes_deg=180.0)
+        pairs = grid_plus_isl_pairs(geometry)
+        degree = np.zeros(geometry.total_satellites, dtype=int)
+        for a, b in pairs:
+            degree[a] += 1
+            degree[b] += 1
+        # Seam satellites have 3 links, everyone else has 4.
+        assert set(np.unique(degree)) <= {3, 4}
+        assert np.count_nonzero(degree == 3) == 2 * per_plane
+
+
+class TestLinkParams:
+    def test_propagation_delay_speed_of_light(self):
+        # 300 km at c is almost exactly 1 ms.
+        assert propagation_delay_ms(299.792458) == pytest.approx(1.0)
+
+    def test_link_delay_quantisation(self):
+        delay = link_delay_ms(1000.0, quantize=True)
+        assert delay == pytest.approx(3.3)
+        assert (delay / 0.1) == pytest.approx(round(delay / 0.1))
+
+    def test_link_delay_vectorised(self):
+        delays = link_delay_ms(np.array([300.0, 600.0]))
+        assert delays.shape == (2,)
+        assert delays[1] == pytest.approx(2 * delays[0])
+
+    def test_serialization_delay(self):
+        # 1250 bytes at 10 Mb/s = 1 ms.
+        assert serialization_delay_ms(1250.0, 10_000.0) == pytest.approx(1.0)
+
+    def test_serialization_delay_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            serialization_delay_ms(100.0, 0.0)
+
+    def test_fiber_slower_than_vacuum(self):
+        assert fiber_delay_ms(1000.0) == pytest.approx(link_delay_ms(1000.0) * 1.47, rel=1e-6)
+
+    def test_meetup_example_delays(self):
+        # Sanity-check the paper's Fig. 3 numbers: Accra to Johannesburg is
+        # roughly 4,500 km away; a one-way trip over the satellite network
+        # at c plus up/down links lands in the tens of milliseconds.
+        distance = 4500.0
+        assert 10.0 < propagation_delay_ms(distance) < 20.0

