@@ -60,8 +60,16 @@ class LatencySeries:
     # -- statistics -----------------------------------------------------------
 
     def mean(self) -> float:
-        """Mean latency [ms]."""
-        return float(np.mean(self.values())) if self._samples else float("nan")
+        """Mean latency [ms], clamped to the sample extremes.
+
+        The pairwise summation in ``np.mean`` can round a hair outside the
+        ``[min, max]`` interval the true mean is bounded by; clamping keeps
+        downstream percentile/extreme invariants exact.
+        """
+        if not self._samples:
+            return float("nan")
+        values = self.values()
+        return float(np.clip(np.mean(values), values.min(), values.max()))
 
     def median(self) -> float:
         """Median latency [ms]."""

@@ -5,6 +5,15 @@ the satellite network — positions of satellites and ground stations, network
 link distances and delays, and shortest paths between nodes — based on the
 SILLEO-SCNS approach extended with SGP4 support.  The resulting machine and
 network parameters are handed to the Machine Managers without modification.
+
+The snapshot hot path is fully vectorised: static structures (the node
+index, per-shell +GRID ISL endpoint arrays as flat global node indices, and
+ground-station nodes/positions) are computed once in
+:class:`ConstellationCalculation` and reused across consecutive snapshots,
+and each :meth:`ConstellationCalculation.state_at` call builds the
+array-backed :class:`~repro.topology.graph.NetworkGraph` from a handful of
+bulk array appends (one per shell for ISLs, one per ground-station/shell
+pair for uplinks) instead of a Python loop over individual links.
 """
 
 from __future__ import annotations
@@ -17,10 +26,11 @@ import numpy as np
 from repro.core.config import Configuration
 from repro.orbits import Shell
 from repro.orbits.coordinates import ecef_to_geodetic, eci_to_ecef
-from repro.orbits.visibility import elevation_angle_deg, isl_line_of_sight
-from repro.topology import Link, LinkType, NetworkGraph, NodeIndex, ShortestPaths
+from repro.orbits.visibility import isl_line_of_sight, slant_range_km
+from repro.topology import LinkType, NetworkGraph, NodeIndex, ShortestPaths
 from repro.topology.isl import grid_plus_isl_pairs
 from repro.topology.linkparams import link_delay_ms
+from repro.topology.uplinks import visible_satellites
 
 
 @dataclass(frozen=True)
@@ -128,12 +138,12 @@ class ConstellationState:
         result = self.path(machine_a, machine_b)
         if not result.reachable or len(result.hops) < 2:
             return 0.0
-        bandwidths = []
-        for hop_a, hop_b in zip(result.hops, result.hops[1:]):
-            link = self.graph.link_between(hop_a, hop_b)
-            if link is not None:
-                bandwidths.append(link.bandwidth_kbps)
-        return min(bandwidths) if bandwidths else 0.0
+        hops = np.asarray(result.hops, dtype=np.int64)
+        edges = self.graph.edge_ids_between(hops[:-1], hops[1:])
+        edges = edges[edges >= 0]
+        if edges.size == 0:
+            return 0.0
+        return float(self.graph.bandwidths_kbps[edges].min())
 
     def uplinks_of(self, ground_station: str) -> list[UplinkInfo]:
         """Usable uplinks of a ground station, nearest first."""
@@ -173,12 +183,28 @@ class ConstellationCalculation:
             shell_sizes=config.shell_sizes,
             ground_station_names=config.ground_station_names,
         )
+        # Static structures reused across consecutive snapshots: the node
+        # index, per-shell +GRID ISL pair arrays (both in-shell and as flat
+        # global node indices, split into contiguous endpoint buffers) and
+        # the fixed ground-station positions/flat node indices.
         self._isl_pairs = [
             np.array(grid_plus_isl_pairs(shell_config.geometry), dtype=int).reshape(-1, 2)
             for shell_config in config.shells
         ]
+        self._isl_endpoints_a = [
+            np.ascontiguousarray(pairs[:, 0] + self.node_index.shell_offset(shell))
+            for shell, pairs in enumerate(self._isl_pairs)
+        ]
+        self._isl_endpoints_b = [
+            np.ascontiguousarray(pairs[:, 1] + self.node_index.shell_offset(shell))
+            for shell, pairs in enumerate(self._isl_pairs)
+        ]
         self._ground_positions = {
             gst.name: gst.station.position_ecef for gst in config.ground_stations
+        }
+        self._ground_nodes = {
+            gst.name: self.node_index.ground_station(gst.name)
+            for gst in config.ground_stations
         }
 
     # -- machine identities -------------------------------------------------
@@ -233,39 +259,36 @@ class ConstellationCalculation:
                     config.bounding_box.contains(lat, lon), dtype=bool
                 )
 
-            # Inter-satellite links (+GRID) with line-of-sight check.
+            # Inter-satellite links (+GRID) with line-of-sight check, appended
+            # in bulk as endpoint/distance/delay arrays (one call per shell).
             pairs = self._isl_pairs[shell_index]
             if pairs.size:
                 endpoint_a = positions_ecef[pairs[:, 0]]
                 endpoint_b = positions_ecef[pairs[:, 1]]
-                distances = np.linalg.norm(endpoint_a - endpoint_b, axis=1)
-                clear = isl_line_of_sight(
-                    endpoint_a,
-                    endpoint_b,
-                    shell_config.network.atmosphere_grazing_altitude_km,
+                distances = slant_range_km(endpoint_a, endpoint_b)
+                clear = np.asarray(
+                    isl_line_of_sight(
+                        endpoint_a,
+                        endpoint_b,
+                        shell_config.network.atmosphere_grazing_altitude_km,
+                    ),
+                    dtype=bool,
                 )
-                delays = link_delay_ms(distances)
-                for (sat_a, sat_b), distance, delay, visible in zip(
-                    pairs, distances, delays, clear
-                ):
-                    if not visible:
-                        continue
-                    graph.add_link(
-                        Link(
-                            node_a=self.node_index.satellite(shell_index, int(sat_a)),
-                            node_b=self.node_index.satellite(shell_index, int(sat_b)),
-                            distance_km=float(distance),
-                            delay_ms=float(delay),
-                            bandwidth_kbps=shell_config.network.isl_bandwidth_kbps,
-                            link_type=LinkType.ISL,
-                        )
-                    )
+                distances = distances[clear]
+                graph.add_links(
+                    self._isl_endpoints_a[shell_index][clear],
+                    self._isl_endpoints_b[shell_index][clear],
+                    distances,
+                    link_delay_ms(distances),
+                    shell_config.network.isl_bandwidth_kbps,
+                    LinkType.ISL,
+                )
 
-        # Ground-station uplinks.
+        # Ground-station uplinks (bulk-appended per ground station and shell).
         uplinks: dict[str, list[UplinkInfo]] = {name: [] for name in config.ground_station_names}
         for gst_config in config.ground_stations:
             gst_position = self._ground_positions[gst_config.name]
-            gst_node = self.node_index.ground_station(gst_config.name)
+            gst_node = self._ground_nodes[gst_config.name]
             for shell_index, shell_config in enumerate(config.shells):
                 min_elevation = (
                     gst_config.min_elevation_deg
@@ -273,36 +296,32 @@ class ConstellationCalculation:
                     else shell_config.network.min_elevation_deg
                 )
                 positions = satellite_positions[shell_index]
-                elevations = elevation_angle_deg(gst_position, positions)
-                visible = np.nonzero(elevations >= min_elevation)[0]
+                visible, distances = visible_satellites(
+                    gst_position, positions, min_elevation
+                )
                 if visible.size == 0:
                     continue
-                distances = np.linalg.norm(positions[visible] - gst_position, axis=1)
-                delays = link_delay_ms(distances)
+                delays = np.atleast_1d(link_delay_ms(distances))
                 bandwidth = (
                     gst_config.uplink_bandwidth_kbps
                     if gst_config.uplink_bandwidth_kbps is not None
                     else shell_config.network.uplink_bandwidth_kbps
                 )
-                for satellite, distance, delay in zip(visible, distances, np.atleast_1d(delays)):
-                    graph.add_link(
-                        Link(
-                            node_a=gst_node,
-                            node_b=self.node_index.satellite(shell_index, int(satellite)),
-                            distance_km=float(distance),
-                            delay_ms=float(delay),
-                            bandwidth_kbps=bandwidth,
-                            link_type=LinkType.UPLINK,
-                        )
+                shell_offset = self.node_index.shell_offset(shell_index)
+                graph.add_links(
+                    np.full(visible.size, gst_node, dtype=np.int64),
+                    visible + shell_offset,
+                    distances,
+                    delays,
+                    bandwidth,
+                    LinkType.UPLINK,
+                )
+                uplinks[gst_config.name].extend(
+                    UplinkInfo(shell_index, satellite, distance, delay)
+                    for satellite, distance, delay in zip(
+                        visible.tolist(), distances.tolist(), delays.tolist()
                     )
-                    uplinks[gst_config.name].append(
-                        UplinkInfo(
-                            shell=shell_index,
-                            satellite=int(satellite),
-                            distance_km=float(distance),
-                            delay_ms=float(delay),
-                        )
-                    )
+                )
 
         sources = self._path_sources()
         paths = ShortestPaths(graph, sources=sources, method=path_method)

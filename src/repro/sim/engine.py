@@ -85,6 +85,12 @@ class Process(Event):
         super().__init__(sim)
         self._generator = generator
         self._waiting_on: Optional[Event] = None
+        #: Incremented whenever the wait target is superseded (interrupt).
+        #: Every wait registration carries the epoch at registration time, so
+        #: a stale resume is dropped even when it can no longer be
+        #: deregistered (already queued, or already snapshotted by ``step``).
+        self._wait_epoch = 0
+        self._wait_callback: Optional[Callable[[Event], None]] = None
         init = Event(sim)
         init.succeed()
         init.callbacks.append(self._resume)
@@ -95,19 +101,60 @@ class Process(Event):
         return not self.triggered
 
     def interrupt(self, cause: Any = None) -> None:
-        """Interrupt the process, raising :class:`Interrupt` inside it."""
+        """Interrupt the process, raising :class:`Interrupt` inside it.
+
+        The event the process was waiting on no longer resumes it: its
+        resume callback is deregistered, and the wait epoch is bumped so
+        that a resume that can no longer be deregistered (already queued as
+        a proxy, or already snapshotted by a running ``step``) is dropped
+        instead of resuming the generator at the wrong simulated instant.
+        """
         if self.triggered:
             return
+        if self._waiting_on is not None:
+            try:
+                self._waiting_on.callbacks.remove(self._wait_callback)
+            except ValueError:
+                pass
+            self._waiting_on = None
+            self._wait_callback = None
+        self._wait_epoch += 1
         interrupt_event = Event(self.sim)
         interrupt_event.triggered = True
         interrupt_event.ok = False
         interrupt_event.value = Interrupt(cause)
+        interrupt_event._delivers_interrupt = True
         interrupt_event.callbacks.append(self._resume)
         self.sim._schedule(interrupt_event, 0.0)
+
+    def _resume_guarded(self, event: Event, epoch: int) -> None:
+        # A proxy resume scheduled before an interrupt superseded the wait
+        # must not resume the generator at the wrong instant.
+        if epoch != self._wait_epoch:
+            return
+        self._resume(event)
 
     def _resume(self, event: Event) -> None:
         if self.triggered:
             return
+        if getattr(event, "_delivers_interrupt", False):
+            # An interrupt may be popped after the process has re-waited on a
+            # different event (e.g. it was scheduled before the process first
+            # ran, or a second interrupt in the same timestep): it must still
+            # be delivered.  Detach from whatever the process waits on now so
+            # the stale wait cannot resume it a second time, and invalidate
+            # any resume that is already in flight.
+            if self._waiting_on is not None:
+                try:
+                    self._waiting_on.callbacks.remove(self._wait_callback)
+                except ValueError:
+                    pass
+            self._wait_epoch += 1
+        elif self._waiting_on is not None and event is not self._waiting_on:
+            # Superseded: the process has since been pointed at another event.
+            return
+        self._waiting_on = None
+        self._wait_callback = None
         self.sim._active_process = self
         try:
             if event.ok:
@@ -129,18 +176,29 @@ class Process(Event):
             raise SimulationError(
                 f"process yielded {target!r}, which is not an Event"
             )
-        self._waiting_on = target
+        epoch = self._wait_epoch
+        callback = lambda event, _epoch=epoch: self._resume_guarded(event, _epoch)
         if target.processed:
             # The event already fired and its callbacks ran; resume through a
             # fresh immediate event so queue ordering stays deterministic.
+            # The proxy sits in the queue and cannot be deregistered, so the
+            # epoch carried by the callback is what invalidates it if an
+            # interrupt supersedes the wait first.
             resume = Event(self.sim)
             resume.triggered = True
             resume.ok = target.ok
             resume.value = target.value
-            resume.callbacks.append(self._resume)
+            resume.callbacks.append(callback)
             self.sim._schedule(resume, 0.0)
         else:
-            target.callbacks.append(self._resume)
+            # The epoch guard also covers the case where the wait target is
+            # being processed right now: step() has already snapshotted its
+            # callback list, so deregistration alone could not stop a resume
+            # that an interrupt (fired from an earlier callback of the same
+            # event) has superseded.
+            self._waiting_on = target
+            self._wait_callback = callback
+            target.callbacks.append(callback)
 
 
 class _Condition(Event):

@@ -3,9 +3,25 @@
 Celestial (following Bhattacherjee & Singla) assumes the +GRID pattern:
 every satellite keeps a laser link to its predecessor and successor within
 its own orbital plane, and one link each to the nearest neighbour in the two
-adjacent planes (§2.1).  For Walker-star shells such as Iridium, whose
-ascending nodes only span 180°, the first and last planes are counter-rotating
-and therefore cannot maintain ISLs across that seam (§5, Fig. 10).
+adjacent planes (§2.1).
+
+Walker-star seam behaviour
+--------------------------
+
+For Walker-delta shells (e.g. Starlink, ascending nodes spread over 360°)
+the inter-plane links wrap around: the last plane links to the first, so
+every satellite has exactly four ISLs.  For Walker-star shells such as
+Iridium, whose ascending nodes only span 180°, the first and last planes are
+counter-rotating: satellites on either side of that seam move in opposite
+directions at a relative speed that makes laser links infeasible, so
+:func:`grid_plus_isl_pairs` emits **no** pairs between the last and first
+plane when ``geometry.is_polar_star`` is set (§5, Fig. 10).  Traffic between
+the seam planes must route the long way around the shell, which is exactly
+the asymmetry the paper's Fig. 10 Iridium topology shows.
+
+The pair list of a shell is static — only link distances/delays change as
+satellites move — which is why the constellation calculation precomputes the
+pairs once (as flat node-index arrays) and reuses them for every snapshot.
 """
 
 from __future__ import annotations

@@ -5,6 +5,12 @@ Dijkstra's algorithm and the Floyd-Warshall algorithm (§3.1).  Both are
 available here, backed by ``scipy.sparse.csgraph``: Dijkstra from a set of
 source nodes (the default, scales to Starlink-sized constellations), and
 Floyd-Warshall for dense all-pairs computation on smaller topologies.
+
+Both solvers treat explicit zeros in the weight matrix as *absent* edges
+(the dense Floyd-Warshall input drops them outright in ``toarray()``), so
+:meth:`repro.topology.graph.NetworkGraph.delay_matrix` clamps zero-delay
+links to ``DELAY_EPSILON_MS``; reported delays may therefore exceed the true
+sum of hop delays by at most one nanosecond per hop.
 """
 
 from __future__ import annotations
@@ -69,8 +75,12 @@ class ShortestPaths:
                 matrix, directed=False, indices=self.sources, return_predecessors=True
             )
         elif method == "floyd-warshall":
+            # The matrix is passed in sparse form: scipy's dense conversion
+            # nulls out weights below ~1e-8 (not just exact zeros), which
+            # would drop the epsilon-clamped zero-delay links; sparse input
+            # keeps every stored entry as an edge.
             all_distances, all_predecessors = csgraph.floyd_warshall(
-                matrix.toarray(), directed=False, return_predecessors=True
+                matrix, directed=False, return_predecessors=True
             )
             distances = all_distances[self.sources]
             predecessors = all_predecessors[self.sources]

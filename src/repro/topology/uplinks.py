@@ -4,6 +4,11 @@ A ground station can communicate with every satellite currently above its
 configured minimum elevation angle (§3.1).  Celestial configures network
 links to all of them; applications (such as the §4 tracking service) then
 decide which satellite server to use.
+
+:func:`visible_satellites` is the shared, fully vectorised hot-path helper:
+the constellation calculation calls it once per ground-station/shell pair
+per snapshot and bulk-appends the resulting index/slant-range arrays to the
+array-backed :class:`~repro.topology.graph.NetworkGraph`.
 """
 
 from __future__ import annotations

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.orbits import Shell, ShellGeometry, GroundStation, geodetic_to_ecef
 from repro.topology import (
@@ -110,6 +112,96 @@ class TestNetworkGraph:
         graph = NetworkGraph(index)
         assert graph.delay_matrix().nnz == 0
 
+    def test_bulk_add_links_matches_individual_adds(self):
+        index = _simple_index()
+        one_by_one = NetworkGraph(index)
+        bulk = NetworkGraph(index)
+        links = [
+            Link(0, 1, 300.0, 1.0, 1000.0, LinkType.ISL),
+            Link(1, 2, 600.0, 2.0, 2000.0, LinkType.ISL),
+            Link(2, 3, 900.0, 3.0, 3000.0, LinkType.ISL),
+        ]
+        for link in links:
+            one_by_one.add_link(link)
+        bulk.add_links(
+            np.array([0, 1, 2]),
+            np.array([1, 2, 3]),
+            np.array([300.0, 600.0, 900.0]),
+            np.array([1.0, 2.0, 3.0]),
+            np.array([1000.0, 2000.0, 3000.0]),
+            LinkType.ISL,
+        )
+        assert bulk.links == one_by_one.links
+        assert (bulk.delay_matrix() != one_by_one.delay_matrix()).nnz == 0
+
+    def test_bulk_add_links_validation(self):
+        graph = NetworkGraph(_simple_index())
+        with pytest.raises(ValueError):
+            graph.add_links(np.array([0]), np.array([0]), 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            graph.add_links(np.array([0]), np.array([99]), 1.0, 1.0, 1.0)
+        # Empty appends are a no-op.
+        graph.add_links(np.array([], dtype=int), np.array([], dtype=int), 1.0, 1.0, 1.0)
+        assert graph.total_links() == 0
+
+    def test_zero_delay_link_is_not_dropped(self):
+        """Regression: csgraph treats explicit zeros as no-edge, which made
+        co-located nodes (zero-delay links) unreachable."""
+        index = _simple_index()
+        graph = NetworkGraph(index)
+        graph.add_link(Link(0, 1, 0.0, 0.0, 1000.0))
+        graph.add_link(Link(1, 2, 300.0, 1.0, 1000.0))
+        assert graph.delay_matrix()[0, 1] > 0.0
+        for method in ("dijkstra", "floyd-warshall"):
+            paths = ShortestPaths(graph, sources=[0], method=method)
+            assert paths.reachable(0, 1)
+            assert paths.delay_ms(0, 1) == pytest.approx(0.0, abs=1e-6)
+            assert paths.path(0, 1).hops == (0, 1)
+            assert paths.delay_ms(0, 2) == pytest.approx(1.0, abs=1e-6)
+            assert paths.path(0, 2).hops == (0, 1, 2)
+
+    def test_duplicate_links_keep_minimum_delay(self):
+        """Regression: duplicate node pairs were silently summed by the
+        COO→CSR construction of delay_matrix, inflating delays."""
+        index = _simple_index()
+        graph = NetworkGraph(index)
+        graph.add_link(Link(0, 1, 1500.0, 5.0, 1000.0))
+        graph.add_link(Link(0, 1, 600.0, 2.0, 2000.0))
+        graph.add_link(Link(1, 0, 900.0, 3.0, 3000.0))
+        assert graph.total_links() == 1
+        assert graph.link_between(0, 1).delay_ms == 2.0
+        assert graph.delay_matrix()[0, 1] == pytest.approx(2.0)
+        paths = ShortestPaths(graph, sources=[0])
+        assert paths.delay_ms(0, 1) == pytest.approx(2.0)
+
+    def test_adjacency_queries_match_link_list(self):
+        index, graph = _line_graph()
+        for node in range(len(index)):
+            incident = graph.links_of(node)
+            assert graph.degree(node) == len(incident)
+            assert all(node in (link.node_a, link.node_b) for link in incident)
+            neighbors = {link.other(node) for link in incident}
+            assert set(graph.neighbors_of(node).tolist()) == neighbors
+
+    def test_out_of_range_queries_are_empty(self):
+        """Seed behaviour: queries about unknown nodes return empty results
+        instead of raising or (worse) wrapping around via negative indexing."""
+        index, graph = _line_graph()
+        for node in (-1, len(index), len(index) + 5):
+            assert graph.links_of(node) == []
+            assert graph.degree(node) == 0
+            assert graph.neighbors_of(node).size == 0
+        assert graph.link_between(-1, 0) is None
+        assert graph.bandwidth_between(0, len(index)) == 0.0
+
+    def test_edge_ids_between_vectorized_lookup(self):
+        index, graph = _line_graph()
+        edges = graph.edge_ids_between(np.array([0, 1, 0]), np.array([1, 2, 3]))
+        assert edges[0] >= 0 and edges[1] >= 0
+        assert edges[2] == -1
+        assert graph.delays_ms[edges[0]] == 1.0
+        assert graph.delays_ms[edges[1]] == 2.0
+
 
 class TestShortestPaths:
     def test_end_to_end_delay(self):
@@ -180,6 +272,42 @@ class TestShortestPaths:
         delays = paths.delays_from(0)
         assert delays.shape == (len(index),)
         assert delays[0] == 0.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=5),
+            st.integers(min_value=0, max_value=5),
+            st.floats(min_value=0.0, max_value=50.0),
+        ),
+        min_size=1,
+        max_size=15,
+    )
+)
+def test_property_path_hop_delays_sum_to_delay(edges):
+    """The delay of every reconstructed path equals the sum of its hop delays
+    (up to the zero-delay epsilon clamp of the delay matrix)."""
+    index = NodeIndex(shell_sizes=[6], ground_station_names=[])
+    graph = NetworkGraph(index)
+    for node_a, node_b, delay in edges:
+        if node_a == node_b:
+            continue
+        graph.add_link(Link(node_a, node_b, delay * 300.0, delay, 1000.0))
+    if graph.total_links() == 0:
+        return
+    paths = ShortestPaths(graph, sources=[0])
+    for target in range(len(index)):
+        result = paths.path(0, target)
+        if not result.reachable:
+            continue
+        hop_sum = sum(
+            graph.link_between(a, b).delay_ms
+            for a, b in zip(result.hops, result.hops[1:])
+        )
+        assert result.delay_ms == pytest.approx(hop_sum, abs=1e-6)
+        assert result.delay_ms == pytest.approx(paths.delay_ms(0, target))
 
 
 class TestUplinks:
