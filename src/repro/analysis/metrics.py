@@ -63,13 +63,15 @@ class LatencySeries:
         """Mean latency [ms], clamped to the sample extremes.
 
         The pairwise summation in ``np.mean`` can round a hair outside the
-        ``[min, max]`` interval the true mean is bounded by; clamping keeps
-        downstream percentile/extreme invariants exact.
+        ``[min, max]`` interval the true mean is bounded by — or overflow to
+        ``inf`` outright for samples near the float maximum; clamping keeps
+        downstream percentile/extreme invariants exact either way.
         """
         if not self._samples:
             return float("nan")
         values = self.values()
-        return float(np.clip(np.mean(values), values.min(), values.max()))
+        with np.errstate(over="ignore"):
+            return float(np.clip(np.mean(values), values.min(), values.max()))
 
     def median(self) -> float:
         """Median latency [ms]."""
@@ -80,8 +82,16 @@ class LatencySeries:
         return float(np.std(self.values())) if self._samples else float("nan")
 
     def percentile(self, q: float) -> float:
-        """Latency percentile ``q`` (0..100) [ms]."""
-        return float(np.percentile(self.values(), q)) if self._samples else float("nan")
+        """Latency percentile ``q`` (0..100) [ms], clamped to the sample extremes.
+
+        The linear interpolation between order statistics can round a hair
+        outside ``[min, max]`` for extreme values; clamping keeps the
+        percentile/extreme invariants exact, mirroring :meth:`mean`.
+        """
+        if not self._samples:
+            return float("nan")
+        values = self.values()
+        return float(np.clip(np.percentile(values, q), values.min(), values.max()))
 
     def fraction_below(self, threshold_ms: float) -> float:
         """Fraction of samples at or below a latency threshold (CDF value)."""
@@ -96,7 +106,13 @@ class LatencySeries:
         return values, fractions
 
     def rolling_median(self, window_s: float = 1.0) -> tuple[np.ndarray, np.ndarray]:
-        """Rolling median over a time window (Figs. 5-6): (window centres, medians)."""
+        """Rolling median over a time window (Figs. 5-6): (window centres, medians).
+
+        Each window's median is clamped to that window's sample extremes:
+        for even sample counts the midpoint interpolation of the two middle
+        values can round outside ``[min, max]`` at float extremes, mirroring
+        the :meth:`mean` hazard.
+        """
         if not self._samples:
             return np.array([]), np.array([])
         times = self.times()
@@ -108,8 +124,11 @@ class LatencySeries:
         for start in edges:
             mask = (times >= start) & (times < start + window_s)
             if np.any(mask):
+                window = values[mask]
                 centres.append(start + window_s / 2.0)
-                medians.append(float(np.median(values[mask])))
+                medians.append(
+                    float(np.clip(np.median(window), window.min(), window.max()))
+                )
         return np.array(centres), np.array(medians)
 
     def filtered(self, source: Optional[str] = None, destination: Optional[str] = None) -> "LatencySeries":

@@ -25,10 +25,15 @@ from repro.core.bounding_box import BoundingBox
 from repro.core.addressing import gateway_ip, machine_ip, network_for, parse_machine_ip
 from repro.core.dns import CelestialDNS, DNSError
 from repro.core.validator import ResourceEstimate, estimate_resources, validate_configuration
-from repro.core.constellation import ConstellationCalculation, ConstellationState, MachineId
+from repro.core.constellation import (
+    ConstellationCalculation,
+    ConstellationDiff,
+    ConstellationState,
+    MachineId,
+)
 from repro.core.database import ConstellationDatabase
 from repro.core.info_api import HTTPInfoServer, InfoAPI, InfoAPIError
-from repro.core.machine_manager import MachineManager
+from repro.core.machine_manager import HostStateSlice, MachineManager
 from repro.core.fault_injection import FaultInjector, RadiationModel
 from repro.core.coordinator import Coordinator
 from repro.core.animation import ascii_map, constellation_snapshot, snapshot_to_geojson
@@ -43,6 +48,7 @@ __all__ = [
     "Configuration",
     "ConfigurationError",
     "ConstellationCalculation",
+    "ConstellationDiff",
     "ConstellationDatabase",
     "ConstellationState",
     "Coordinator",
@@ -51,6 +57,7 @@ __all__ = [
     "GroundStationConfig",
     "HTTPInfoServer",
     "HostConfig",
+    "HostStateSlice",
     "InfoAPI",
     "InfoAPIError",
     "MachineId",

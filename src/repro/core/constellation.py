@@ -14,6 +14,27 @@ and each :meth:`ConstellationCalculation.state_at` call builds the
 array-backed :class:`~repro.topology.graph.NetworkGraph` from a handful of
 bulk array appends (one per shell for ISLs, one per ground-station/shell
 pair for uplinks) instead of a Python loop over individual links.
+Ground-station elevation checks are batched into one matrix operation per
+shell over the stacked GST×satellite position array
+(:func:`~repro.topology.uplinks.visible_satellites_batch`).
+
+Differential updates
+--------------------
+
+:meth:`ConstellationCalculation.diff_since` is the epoch-to-epoch fast
+path.  Both it and :meth:`ConstellationCalculation.state_at` derive their
+link set from the same internal per-epoch arrays, so the states they
+produce are byte-identical; the diff path additionally
+
+* assembles the graph directly from the concatenated edge arrays
+  (:meth:`~repro.topology.graph.NetworkGraph.from_edge_arrays`), sharing
+  the previous epoch's sorted-key/adjacency/CSR caches whenever the edge
+  set did not change structurally (the steady-state case), and
+* emits a :class:`ConstellationDiff` — the
+  :class:`~repro.topology.graph.TopologyDiff` edge index arrays plus the
+  per-shell bounding-box ``activated``/``deactivated`` satellite ids —
+  which the coordinator shards into per-host slices instead of replaying
+  the full state to every machine manager.
 """
 
 from __future__ import annotations
@@ -24,13 +45,19 @@ from typing import Iterator, Literal, Optional, Sequence
 import numpy as np
 
 from repro.core.config import Configuration
-from repro.orbits import Shell
+from repro.orbits import Shell, constants
 from repro.orbits.coordinates import ecef_to_geodetic, eci_to_ecef
-from repro.orbits.visibility import isl_line_of_sight, slant_range_km
-from repro.topology import LinkType, NetworkGraph, NodeIndex, ShortestPaths
+from repro.orbits.visibility import (
+    elevation_angle_deg,
+    elevation_angle_matrix_deg,
+    isl_closest_approach_km,
+    slant_range_km,
+)
+from repro.topology import LinkType, NetworkGraph, NodeIndex, ShortestPaths, TopologyDiff
+from repro.topology.graph import _CODE_BY_LINK_TYPE
 from repro.topology.isl import grid_plus_isl_pairs
 from repro.topology.linkparams import link_delay_ms
-from repro.topology.uplinks import visible_satellites
+from repro.topology.uplinks import visible_satellites_batch
 
 
 @dataclass(frozen=True)
@@ -64,6 +91,102 @@ class UplinkInfo:
     delay_ms: float
 
 
+@dataclass(frozen=True)
+class ConstellationDiff:
+    """What changed between two consecutive constellation epochs.
+
+    This is the unit of distribution of the differential update protocol:
+    the coordinator computes one per epoch via
+    :meth:`ConstellationCalculation.diff_since`, stores it in the rolling
+    history of the constellation database, shards it into per-host slices
+    for the machine managers and hands it to the virtual network.
+
+    ``topology`` carries the edge-level changes (see
+    :class:`~repro.topology.graph.TopologyDiff`); ``activated`` and
+    ``deactivated`` hold, per shell, the satellite identifiers that entered
+    or left the bounding box since the previous epoch — the only machines a
+    manager has to suspend or resume.
+    """
+
+    previous_time_s: float
+    time_s: float
+    topology: TopologyDiff
+    activated: dict[int, np.ndarray]
+    deactivated: dict[int, np.ndarray]
+
+    @property
+    def activity_change_count(self) -> int:
+        """Number of satellites whose bounding-box activity flipped."""
+        return int(
+            sum(ids.size for ids in self.activated.values())
+            + sum(ids.size for ids in self.deactivated.values())
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether nothing observable changed between the two epochs."""
+        return self.topology.is_empty and self.activity_change_count == 0
+
+    def summary(self) -> dict[str, int]:
+        """Compact counters (topology changes plus activity transitions)."""
+        counters = self.topology.summary()
+        counters["activated"] = int(sum(ids.size for ids in self.activated.values()))
+        counters["deactivated"] = int(sum(ids.size for ids in self.deactivated.values()))
+        return counters
+
+
+@dataclass
+class _UpdateHints:
+    """Certified visibility bounds carried from one epoch to the next.
+
+    ``elevation_bounds`` holds, per shell, a ``(G, N)`` matrix of *upper
+    bounds* on each ground-station/satellite elevation angle [deg]:
+    entries are exact where the elevation was last computed and grow by a
+    certified maximum elevation rate × Δt per epoch otherwise.  A pair whose
+    bound stays below the station's minimum elevation provably cannot have
+    become visible, so the differential path skips its elevation check.
+
+    ``los_lower``/``los_upper`` bracket, per shell, each candidate ISL's
+    closest approach to Earth's centre [km]; the closest-approach function
+    is 1-Lipschitz in the endpoint positions, so the interval widens by the
+    maximum satellite displacement per epoch.  Only links whose interval
+    straddles the atmosphere-grazing limit need an exact recomputation.
+
+    The bounds are conservative: any Δt (including large gaps or stepping
+    backwards in time) only widens them, degrading gracefully to the full
+    recomputation while never changing a visibility verdict.
+    """
+
+    time_s: float
+    elevation_bounds: list[np.ndarray]
+    los_lower: list[np.ndarray]
+    los_upper: list[np.ndarray]
+
+
+@dataclass
+class _EpochArrays:
+    """Per-epoch intermediate arrays shared by ``state_at`` and ``diff_since``.
+
+    ``isl_chunks`` holds one ``(node_a, node_b, distance_km, delay_ms,
+    bandwidth_kbps)`` tuple per shell (line-of-sight filtered),
+    ``uplink_chunks`` one ``(gst_name, shell, gst_node, visible_ids,
+    sat_nodes, distance_km, delay_ms, bandwidth_kbps)`` tuple per
+    ground-station/shell pair with at least one visible satellite, in the
+    deterministic order the links are appended to the graph (ISLs by shell,
+    then uplinks by ground station, then shell).  Keeping both code paths on
+    these arrays guarantees byte-identical snapshots.
+    """
+
+    gmst: float
+    satellite_positions: dict[int, np.ndarray]
+    latitudes: dict[int, np.ndarray]
+    longitudes: dict[int, np.ndarray]
+    active: dict[int, np.ndarray]
+    isl_chunks: list[tuple]
+    uplink_chunks: list[tuple]
+    hints: Optional[_UpdateHints] = None
+
+
 @dataclass
 class ConstellationState:
     """Snapshot of the constellation network at one instant."""
@@ -80,6 +203,7 @@ class ConstellationState:
     ground_positions_ecef: dict[str, np.ndarray]
     uplinks: dict[str, list[UplinkInfo]] = field(default_factory=dict)
     _extra_paths: dict[int, ShortestPaths] = field(default_factory=dict, repr=False)
+    _update_hints: Optional[_UpdateHints] = field(default=None, repr=False, compare=False)
 
     # -- machine-level queries -------------------------------------------
 
@@ -206,6 +330,59 @@ class ConstellationCalculation:
             gst.name: self.node_index.ground_station(gst.name)
             for gst in config.ground_stations
         }
+        # Name → configuration-order position, so ground_station() is O(1)
+        # instead of an O(n) list.index scan per call (hot in
+        # create_ground_stations and per-update pair lookups).
+        self._ground_station_position = {
+            name: position for position, name in enumerate(config.ground_station_names)
+        }
+        # Stacked ground-station structures for the batched (one matrix op
+        # per shell) elevation checks: positions as a (G, 3) array plus the
+        # per-shell effective minimum elevations and uplink bandwidths with
+        # ground-station overrides applied.
+        self._gst_position_stack = (
+            np.stack([gst.station.position_ecef for gst in config.ground_stations])
+            if config.ground_stations
+            else np.empty((0, 3), dtype=float)
+        )
+        self._gst_min_elevations = [
+            np.array(
+                [
+                    gst.min_elevation_deg
+                    if gst.min_elevation_deg is not None
+                    else shell_config.network.min_elevation_deg
+                    for gst in config.ground_stations
+                ],
+                dtype=float,
+            )
+            for shell_config in config.shells
+        ]
+        self._gst_uplink_bandwidths = [
+            [
+                gst.uplink_bandwidth_kbps
+                if gst.uplink_bandwidth_kbps is not None
+                else shell_config.network.uplink_bandwidth_kbps
+                for gst in config.ground_stations
+            ]
+            for shell_config in config.shells
+        ]
+        # Certified per-shell motion bounds for the differential visibility
+        # path (:class:`_UpdateHints`).  In the rotating ECEF frame a
+        # satellite moves at most orbital speed + frame rotation at the orbit
+        # radius (×1.5 safety); an elevation angle seen from the ground then
+        # changes at most speed/range rad/s with range ≥ altitude, and an ISL
+        # closest approach (1-Lipschitz in the endpoints) at most speed km/s.
+        self._shell_speed_km_s: list[float] = []
+        self._elevation_rate_deg_s: list[float] = []
+        for shell_config in config.shells:
+            geometry = shell_config.geometry
+            radius_km = constants.EARTH_RADIUS_KM + geometry.altitude_km
+            orbital_km_s = 2.0 * np.pi * radius_km / geometry.period_s
+            frame_km_s = 7.2921159e-5 * radius_km  # sidereal rotation rate × radius
+            speed = (orbital_km_s + frame_km_s) * 1.5
+            self._shell_speed_km_s.append(speed)
+            min_range_km = max(geometry.altitude_km - 20.0, 1.0)
+            self._elevation_rate_deg_s.append(float(np.degrees(speed / min_range_km)))
 
     # -- machine identities -------------------------------------------------
 
@@ -218,9 +395,10 @@ class ConstellationCalculation:
         return MachineId(shell, identifier, f"{identifier}.{shell}.celestial")
 
     def ground_station(self, name: str) -> MachineId:
-        """MachineId of a ground-station server."""
-        position = self.config.ground_station_names.index(name)
-        return MachineId(MachineId.GROUND_SHELL, position, name)
+        """MachineId of a ground-station server (O(1) name lookup)."""
+        if name not in self._ground_station_position:
+            raise ValueError(f"{name!r} is not in list")
+        return MachineId(MachineId.GROUND_SHELL, self._ground_station_position[name], name)
 
     def machines(self) -> Iterator[MachineId]:
         """All machines of the configuration (satellites then ground stations)."""
@@ -232,18 +410,31 @@ class ConstellationCalculation:
 
     # -- state computation ----------------------------------------------------
 
-    def state_at(
-        self, time_s: float, path_method: Literal["dijkstra", "floyd-warshall"] = "dijkstra"
-    ) -> ConstellationState:
-        """Compute the full constellation state at a simulation time."""
+    def _epoch_arrays(
+        self, time_s: float, previous: Optional[ConstellationState] = None
+    ) -> _EpochArrays:
+        """Propagate positions and derive the epoch's link arrays.
+
+        Shared by :meth:`state_at` (full rebuild) and :meth:`diff_since`
+        (differential path) so both produce byte-identical link sets.  When
+        ``previous`` carries :class:`_UpdateHints`, the line-of-sight and
+        elevation checks are restricted to the pairs whose certified bounds
+        could have crossed their thresholds since the previous epoch; all
+        other pairs provably keep their visibility verdict, and recomputed
+        values are bitwise identical to the full evaluation.
+        """
         config = self.config
         gmst = config.epoch.gmst_at(time_s)
-        graph = NetworkGraph(self.node_index)
+        hints = previous._update_hints if previous is not None else None
+        dt = abs(time_s - hints.time_s) if hints is not None else 0.0
 
         satellite_positions: dict[int, np.ndarray] = {}
         latitudes: dict[int, np.ndarray] = {}
         longitudes: dict[int, np.ndarray] = {}
         active: dict[int, np.ndarray] = {}
+        isl_chunks: list[tuple] = []
+        los_lower: list[np.ndarray] = []
+        los_upper: list[np.ndarray] = []
 
         for shell_index, shell in enumerate(self.shells):
             shell_config = config.shells[shell_index]
@@ -259,85 +450,269 @@ class ConstellationCalculation:
                     config.bounding_box.contains(lat, lon), dtype=bool
                 )
 
-            # Inter-satellite links (+GRID) with line-of-sight check, appended
-            # in bulk as endpoint/distance/delay arrays (one call per shell).
+            # Inter-satellite links (+GRID) with line-of-sight check, one
+            # endpoint/distance/delay array bundle per shell.
             pairs = self._isl_pairs[shell_index]
-            if pairs.size:
-                endpoint_a = positions_ecef[pairs[:, 0]]
-                endpoint_b = positions_ecef[pairs[:, 1]]
-                distances = slant_range_km(endpoint_a, endpoint_b)
-                clear = np.asarray(
-                    isl_line_of_sight(
-                        endpoint_a,
-                        endpoint_b,
-                        shell_config.network.atmosphere_grazing_altitude_km,
-                    ),
-                    dtype=bool,
-                )
-                distances = distances[clear]
-                graph.add_links(
+            if not pairs.size:
+                los_lower.append(np.empty(0))
+                los_upper.append(np.empty(0))
+                continue
+            endpoint_a = positions_ecef[pairs[:, 0]]
+            endpoint_b = positions_ecef[pairs[:, 1]]
+            distances = slant_range_km(endpoint_a, endpoint_b)
+            limit = constants.EARTH_RADIUS_KM + (
+                shell_config.network.atmosphere_grazing_altitude_km
+            )
+            if hints is not None:
+                step = self._shell_speed_km_s[shell_index] * dt
+                lower = hints.los_lower[shell_index] - step
+                upper = hints.los_upper[shell_index] + step
+                uncertain = (lower < limit) & (upper >= limit)
+                if np.any(uncertain):
+                    exact = isl_closest_approach_km(
+                        endpoint_a[uncertain], endpoint_b[uncertain]
+                    )
+                    lower[uncertain] = exact
+                    upper[uncertain] = exact
+            else:
+                lower = isl_closest_approach_km(endpoint_a, endpoint_b)
+                upper = lower.copy()
+            los_lower.append(lower)
+            los_upper.append(upper)
+            clear = lower >= limit
+            distances = distances[clear]
+            isl_chunks.append(
+                (
                     self._isl_endpoints_a[shell_index][clear],
                     self._isl_endpoints_b[shell_index][clear],
                     distances,
                     link_delay_ms(distances),
                     shell_config.network.isl_bandwidth_kbps,
-                    LinkType.ISL,
                 )
+            )
 
-        # Ground-station uplinks (bulk-appended per ground station and shell).
-        uplinks: dict[str, list[UplinkInfo]] = {name: [] for name in config.ground_station_names}
-        for gst_config in config.ground_stations:
-            gst_position = self._ground_positions[gst_config.name]
+        # Ground-station visibility: the elevation checks of all ground
+        # stations are batched into one stacked GST×satellite matrix
+        # operation per shell (or, on the differential path, one flat
+        # evaluation over the candidate pairs whose bound reached the
+        # threshold).
+        station_count = self._gst_position_stack.shape[0]
+        elevation_bounds: list[np.ndarray] = []
+        per_shell_visibility: list[list[tuple[np.ndarray, np.ndarray]]] = []
+        for shell_index in range(len(self.shells)):
+            positions = satellite_positions[shell_index]
+            if station_count == 0:
+                elevation_bounds.append(np.empty((0, positions.shape[0])))
+                per_shell_visibility.append([])
+                continue
+            thresholds = self._gst_min_elevations[shell_index]
+            results: list[tuple[np.ndarray, np.ndarray]] = []
+            if hints is not None:
+                step = self._elevation_rate_deg_s[shell_index] * dt
+                bounds = hints.elevation_bounds[shell_index] + step
+                rows, cols = np.nonzero(bounds >= thresholds[:, None])
+                if rows.size:
+                    exact = elevation_angle_deg(
+                        self._gst_position_stack[rows], positions[cols]
+                    )
+                    bounds[rows, cols] = exact
+                else:
+                    exact = np.empty(0)
+                row_starts = np.searchsorted(rows, np.arange(station_count + 1))
+                for row in range(station_count):
+                    start, stop = row_starts[row], row_starts[row + 1]
+                    candidates = cols[start:stop]
+                    visible = candidates[exact[start:stop] >= thresholds[row]]
+                    ranges = slant_range_km(
+                        self._gst_position_stack[row], positions[visible]
+                    )
+                    results.append((visible, np.atleast_1d(ranges)))
+            else:
+                bounds = elevation_angle_matrix_deg(self._gst_position_stack, positions)
+                results = visible_satellites_batch(
+                    self._gst_position_stack,
+                    positions,
+                    thresholds,
+                    elevations_deg=bounds,
+                )
+            elevation_bounds.append(bounds)
+            per_shell_visibility.append(results)
+
+        uplink_chunks: list[tuple] = []
+        for gst_position_index, gst_config in enumerate(config.ground_stations):
             gst_node = self._ground_nodes[gst_config.name]
-            for shell_index, shell_config in enumerate(config.shells):
-                min_elevation = (
-                    gst_config.min_elevation_deg
-                    if gst_config.min_elevation_deg is not None
-                    else shell_config.network.min_elevation_deg
-                )
-                positions = satellite_positions[shell_index]
-                visible, distances = visible_satellites(
-                    gst_position, positions, min_elevation
-                )
+            for shell_index in range(len(self.shells)):
+                visible, distances = per_shell_visibility[shell_index][gst_position_index]
                 if visible.size == 0:
                     continue
                 delays = np.atleast_1d(link_delay_ms(distances))
-                bandwidth = (
-                    gst_config.uplink_bandwidth_kbps
-                    if gst_config.uplink_bandwidth_kbps is not None
-                    else shell_config.network.uplink_bandwidth_kbps
-                )
-                shell_offset = self.node_index.shell_offset(shell_index)
-                graph.add_links(
-                    np.full(visible.size, gst_node, dtype=np.int64),
-                    visible + shell_offset,
-                    distances,
-                    delays,
-                    bandwidth,
-                    LinkType.UPLINK,
-                )
-                uplinks[gst_config.name].extend(
-                    UplinkInfo(shell_index, satellite, distance, delay)
-                    for satellite, distance, delay in zip(
-                        visible.tolist(), distances.tolist(), delays.tolist()
+                uplink_chunks.append(
+                    (
+                        gst_config.name,
+                        shell_index,
+                        gst_node,
+                        visible,
+                        visible + self.node_index.shell_offset(shell_index),
+                        distances,
+                        delays,
+                        self._gst_uplink_bandwidths[shell_index][gst_position_index],
                     )
                 )
 
-        sources = self._path_sources()
-        paths = ShortestPaths(graph, sources=sources, method=path_method)
+        return _EpochArrays(
+            gmst=gmst,
+            satellite_positions=satellite_positions,
+            latitudes=latitudes,
+            longitudes=longitudes,
+            active=active,
+            isl_chunks=isl_chunks,
+            uplink_chunks=uplink_chunks,
+            hints=_UpdateHints(
+                time_s=time_s,
+                elevation_bounds=elevation_bounds,
+                los_lower=los_lower,
+                los_upper=los_upper,
+            ),
+        )
+
+    def _uplink_table(self, epoch: _EpochArrays) -> dict[str, list[UplinkInfo]]:
+        uplinks: dict[str, list[UplinkInfo]] = {
+            name: [] for name in self.config.ground_station_names
+        }
+        for name, shell_index, _, visible, _, distances, delays, _ in epoch.uplink_chunks:
+            uplinks[name].extend(
+                UplinkInfo(shell_index, satellite, distance, delay)
+                for satellite, distance, delay in zip(
+                    visible.tolist(), distances.tolist(), delays.tolist()
+                )
+            )
+        return uplinks
+
+    def _state_from_epoch(
+        self,
+        time_s: float,
+        epoch: _EpochArrays,
+        graph: NetworkGraph,
+        path_method: Literal["dijkstra", "floyd-warshall"],
+    ) -> ConstellationState:
+        paths = ShortestPaths(graph, sources=self._path_sources(), method=path_method)
         return ConstellationState(
             time_s=time_s,
-            gmst_rad=gmst,
+            gmst_rad=epoch.gmst,
             node_index=self.node_index,
             graph=graph,
             paths=paths,
-            satellite_positions_ecef=satellite_positions,
-            satellite_latitudes=latitudes,
-            satellite_longitudes=longitudes,
-            active_satellites=active,
+            satellite_positions_ecef=epoch.satellite_positions,
+            satellite_latitudes=epoch.latitudes,
+            satellite_longitudes=epoch.longitudes,
+            active_satellites=epoch.active,
             ground_positions_ecef=dict(self._ground_positions),
-            uplinks=uplinks,
+            uplinks=self._uplink_table(epoch),
+            _update_hints=epoch.hints,
         )
+
+    def state_at(
+        self, time_s: float, path_method: Literal["dijkstra", "floyd-warshall"] = "dijkstra"
+    ) -> ConstellationState:
+        """Compute the full constellation state at a simulation time.
+
+        This is the full-rebuild reference path: the graph is reconstructed
+        from scratch through the bulk-append/deduplicate machinery.  Use
+        :meth:`diff_since` to advance from a previous epoch instead.
+        """
+        epoch = self._epoch_arrays(time_s)
+        graph = NetworkGraph(self.node_index)
+        for nodes_a, nodes_b, distances, delays, bandwidth in epoch.isl_chunks:
+            graph.add_links(nodes_a, nodes_b, distances, delays, bandwidth, LinkType.ISL)
+        for _, _, gst_node, _, sat_nodes, distances, delays, bandwidth in epoch.uplink_chunks:
+            graph.add_links(
+                np.full(sat_nodes.size, gst_node, dtype=np.int64),
+                sat_nodes,
+                distances,
+                delays,
+                bandwidth,
+                LinkType.UPLINK,
+            )
+        return self._state_from_epoch(time_s, epoch, graph, path_method)
+
+    def diff_since(
+        self,
+        previous: ConstellationState,
+        time_s: float,
+        path_method: Literal["dijkstra", "floyd-warshall"] = "dijkstra",
+    ) -> tuple[ConstellationState, ConstellationDiff]:
+        """Advance from a previous epoch, reusing its arrays where possible.
+
+        Returns the new state — byte-identical to what :meth:`state_at`
+        would compute for ``time_s`` — together with the
+        :class:`ConstellationDiff` describing everything that changed since
+        ``previous``.  The new graph is assembled directly from the
+        concatenated epoch arrays; in the steady-state case (no links
+        appeared or disappeared) the previous graph's sorted keys, CSR
+        adjacency and delay-matrix structure are shared rather than rebuilt,
+        and the emitted diff aligns edge ids 1:1 without any set
+        intersection.
+        """
+        if previous.node_index is not self.node_index:
+            raise ValueError("previous state belongs to a different calculation")
+        epoch = self._epoch_arrays(time_s, previous)
+
+        # Assemble the flat edge arrays in the exact order state_at appends
+        # them (ISLs by shell, then uplinks by ground station and shell), so
+        # insertion order — and therefore edge ids — match the full rebuild.
+        isl_code = _CODE_BY_LINK_TYPE[LinkType.ISL]
+        uplink_code = _CODE_BY_LINK_TYPE[LinkType.UPLINK]
+        nodes_a, nodes_b, distances_km, delays_ms, bandwidths, type_codes = (
+            [], [], [], [], [], []
+        )
+        for chunk_a, chunk_b, distances, delays, bandwidth in epoch.isl_chunks:
+            nodes_a.append(chunk_a)
+            nodes_b.append(chunk_b)
+            distances_km.append(distances)
+            delays_ms.append(delays)
+            bandwidths.append(np.full(chunk_a.size, bandwidth, dtype=np.float64))
+            type_codes.append(np.full(chunk_a.size, isl_code, dtype=np.int8))
+        for _, _, gst_node, _, sat_nodes, distances, delays, bandwidth in epoch.uplink_chunks:
+            nodes_a.append(np.full(sat_nodes.size, gst_node, dtype=np.int64))
+            nodes_b.append(sat_nodes)
+            distances_km.append(distances)
+            delays_ms.append(delays)
+            bandwidths.append(np.full(sat_nodes.size, bandwidth, dtype=np.float64))
+            type_codes.append(np.full(sat_nodes.size, uplink_code, dtype=np.int8))
+
+        def _concat(chunks: list, dtype) -> np.ndarray:
+            if not chunks:
+                return np.empty(0, dtype=dtype)
+            return np.concatenate(chunks)
+
+        graph = NetworkGraph.from_edge_arrays(
+            self.node_index,
+            _concat(nodes_a, np.int64),
+            _concat(nodes_b, np.int64),
+            _concat(distances_km, np.float64),
+            _concat(delays_ms, np.float64),
+            _concat(bandwidths, np.float64),
+            _concat(type_codes, np.int8),
+            structure_from=previous.graph,
+        )
+        topology = graph.diff_from(previous.graph)
+
+        activated: dict[int, np.ndarray] = {}
+        deactivated: dict[int, np.ndarray] = {}
+        for shell_index, now_active in epoch.active.items():
+            was_active = previous.active_satellites[shell_index]
+            activated[shell_index] = np.nonzero(now_active & ~was_active)[0]
+            deactivated[shell_index] = np.nonzero(~now_active & was_active)[0]
+
+        state = self._state_from_epoch(time_s, epoch, graph, path_method)
+        diff = ConstellationDiff(
+            previous_time_s=previous.time_s,
+            time_s=time_s,
+            topology=topology,
+            activated=activated,
+            deactivated=deactivated,
+        )
+        return state, diff
 
     def _path_sources(self) -> Optional[Sequence[int]]:
         if self.path_sources == "all":

@@ -7,18 +7,46 @@ reproduction the coordinator additionally creates microVMs lazily: a
 satellite server is instantiated on a host the first time it enters the
 bounding box, mirroring how Celestial only expends host resources on
 emulated (in-box) satellites.
+
+Differential, sharded fan-out
+-----------------------------
+
+After the first epoch the coordinator runs the differential update
+pipeline: :meth:`Coordinator.update` asks the constellation calculation for
+a :class:`~repro.core.constellation.ConstellationDiff` against the
+previously published state, stores state + diff in the database (which
+keeps the rolling diff history and periodic keyframes), and then **shards**
+the change set by host: each machine manager receives a
+:class:`~repro.core.machine_manager.HostStateSlice` restricted to its own
+machines — activity transitions, touched links, and per-ground-station
+delay vectors batched through the vectorised ``delays_from`` /
+``edge_ids_between`` paths — instead of the full constellation state.  The
+slices are fanned out concurrently (one thread per manager; managers only
+touch their own host's machines, so the application is embarrassingly
+parallel), and the virtual network consumes the same diff centrally.  The
+distribution policy (who receives what) thus lives entirely in this layer;
+the update producer is oblivious to it, in the spirit of RAFDA's separation
+of application logic from distribution concerns.
 """
 
 from __future__ import annotations
 
 import time as wallclock
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Optional
 
+import numpy as np
+
 from repro.core.config import Configuration
-from repro.core.constellation import ConstellationCalculation, ConstellationState, MachineId
+from repro.core.constellation import (
+    ConstellationCalculation,
+    ConstellationDiff,
+    ConstellationState,
+    MachineId,
+)
 from repro.core.database import ConstellationDatabase
-from repro.core.machine_manager import MachineManager
+from repro.core.machine_manager import HostStateSlice, MachineManager
 from repro.net.network import VirtualNetwork
 from repro.sim import Simulation
 
@@ -29,6 +57,9 @@ class UpdateStats:
 
     count: int = 0
     wallclock_seconds: list[float] = field(default_factory=list)
+    full_updates: int = 0
+    diff_updates: int = 0
+    diff_change_counts: list[int] = field(default_factory=list)
 
     @property
     def mean_wallclock_s(self) -> float:
@@ -53,14 +84,28 @@ class Coordinator:
         database: ConstellationDatabase,
         managers: list[MachineManager],
         network: Optional[VirtualNetwork] = None,
+        incremental: bool = True,
+        concurrent_fanout: bool = True,
     ):
         self.config = config
         self.calculation = calculation
         self.database = database
         self.managers = managers
         self.network = network
+        self.incremental = incremental
+        self.concurrent_fanout = concurrent_fanout
         self.stats = UpdateStats()
         self._machine_manager_of: dict[str, MachineManager] = {}
+        # Distribution-layer shard map: flat node index → manager position
+        # (-1 while no microVM exists) plus the per-manager node lists, both
+        # maintained incrementally as machines are created.
+        self._node_owner = np.full(len(calculation.node_index), -1, dtype=np.int64)
+        self._host_nodes: list[list[int]] = [[] for _ in managers]
+        self._manager_position = {id(manager): pos for pos, manager in enumerate(managers)}
+        # Lazily created, persistent fan-out pool (one thread per manager);
+        # spawning threads per epoch would tax the very path this pipeline
+        # optimises.
+        self._fanout_pool: Optional[ThreadPoolExecutor] = None
 
     # -- machine bookkeeping -------------------------------------------------
 
@@ -80,6 +125,12 @@ class Coordinator:
             key=lambda manager: manager.host.reserved_memory_mib(),
         )
 
+    def _node_of(self, machine: MachineId) -> int:
+        index = self.calculation.node_index
+        if machine.is_ground_station:
+            return index.ground_station(machine.name)
+        return index.satellite(machine.shell, machine.identifier)
+
     def create_machine(
         self, machine: MachineId, now_s: float, boot: bool = True
     ) -> MachineManager:
@@ -95,6 +146,10 @@ class Coordinator:
         if boot:
             manager.boot(machine, now_s)
         self._machine_manager_of[machine.name] = manager
+        position = self._manager_position[id(manager)]
+        node = self._node_of(machine)
+        self._node_owner[node] = position
+        self._host_nodes[position].append(node)
         return manager
 
     def create_ground_stations(self, now_s: float) -> None:
@@ -109,18 +164,221 @@ class Coordinator:
                 if not self.has_machine(machine):
                     self.create_machine(machine, now_s)
 
+    def _ensure_activated_satellites(self, diff: ConstellationDiff, now_s: float) -> None:
+        """Create microVMs for satellites that just entered the bounding box.
+
+        Satellites active before this epoch already received their microVM
+        when they first became active, so only the ``activated`` transitions
+        of the diff can require new machines.
+        """
+        for shell_index, identifiers in diff.activated.items():
+            for identifier in identifiers:
+                machine = self.calculation.satellite(shell_index, int(identifier))
+                if not self.has_machine(machine):
+                    self.create_machine(machine, now_s)
+
+    # -- sharding --------------------------------------------------------------
+
+    def _group_transitions_by_manager(
+        self, diff: ConstellationDiff
+    ) -> tuple[list[list[MachineId]], list[list[MachineId]]]:
+        """One pass over the diff's activity transitions, grouped by owner."""
+        activated: list[list[MachineId]] = [[] for _ in self.managers]
+        deactivated: list[list[MachineId]] = [[] for _ in self.managers]
+        for transitions, grouped in (
+            (diff.activated, activated),
+            (diff.deactivated, deactivated),
+        ):
+            for shell_index, identifiers in transitions.items():
+                for identifier in identifiers:
+                    machine = self.calculation.satellite(shell_index, int(identifier))
+                    manager = self._machine_manager_of.get(machine.name)
+                    if manager is not None:
+                        grouped[self._manager_position[id(manager)]].append(machine)
+        return activated, deactivated
+
+    def _slice_for(
+        self,
+        position: int,
+        state: ConstellationState,
+        manager: MachineManager,
+        activated: list[MachineId],
+        deactivated: list[MachineId],
+        gst_delay_rows: dict[str, np.ndarray],
+        added_endpoints: np.ndarray,
+        added_delays: np.ndarray,
+        removed_endpoints: np.ndarray,
+        changed_endpoints: np.ndarray,
+        changed_delays: np.ndarray,
+    ) -> HostStateSlice:
+        """Restrict one epoch's change set to the machines of one host."""
+        owner = self._node_owner
+        machine_nodes = np.array(self._host_nodes[position], dtype=np.int64)
+
+        def _touching(endpoints: np.ndarray) -> np.ndarray:
+            if endpoints.shape[0] == 0:
+                return np.empty(0, dtype=bool)
+            return (owner[endpoints[:, 0]] == position) | (
+                owner[endpoints[:, 1]] == position
+            )
+
+        added_mask = _touching(added_endpoints)
+        removed_mask = _touching(removed_endpoints)
+        changed_mask = _touching(changed_endpoints)
+
+        dirty_active = {
+            machine.name: state.is_active(machine)
+            for machine in manager.dirty_machine_ids()
+            if not machine.is_ground_station
+        }
+
+        gst_delays = {
+            name: delays[machine_nodes] for name, delays in gst_delay_rows.items()
+        }
+        # Direct ground-station↔machine uplink parameters, resolved with a
+        # single vectorised edge_ids_between lookup over the full GST×machine
+        # pair matrix of this host.
+        uplink_delays: dict[str, np.ndarray] = {}
+        uplink_bandwidths: dict[str, np.ndarray] = {}
+        graph = state.graph
+        gst_names = list(gst_delay_rows)
+        if gst_names and machine_nodes.size:
+            gst_nodes = np.array(
+                [state.node_index.ground_station(name) for name in gst_names],
+                dtype=np.int64,
+            )
+            edges = graph.edge_ids_between(
+                np.repeat(gst_nodes, machine_nodes.size),
+                np.tile(machine_nodes, gst_nodes.size),
+            ).reshape(gst_nodes.size, machine_nodes.size)
+            found = edges >= 0
+            delays = np.where(found, graph.delays_ms[np.maximum(edges, 0)], np.inf)
+            bandwidths = np.where(
+                found, graph.bandwidths_kbps[np.maximum(edges, 0)], 0.0
+            )
+            for row, name in enumerate(gst_names):
+                uplink_delays[name] = delays[row]
+                uplink_bandwidths[name] = bandwidths[row]
+
+        return HostStateSlice(
+            host_index=manager.host.index,
+            time_s=state.time_s,
+            epoch=self.database.epoch,
+            activated=tuple(activated),
+            deactivated=tuple(deactivated),
+            dirty_active=dirty_active,
+            machine_nodes=machine_nodes,
+            links_added=added_endpoints[added_mask],
+            added_delays_ms=added_delays[added_mask],
+            links_removed=removed_endpoints[removed_mask],
+            links_delay_changed=changed_endpoints[changed_mask],
+            delay_changed_ms=changed_delays[changed_mask],
+            gst_delays_ms=gst_delays,
+            uplink_delays_ms=uplink_delays,
+            uplink_bandwidths_kbps=uplink_bandwidths,
+        )
+
+    def _shard(
+        self, state: ConstellationState, diff: ConstellationDiff
+    ) -> list[HostStateSlice]:
+        """Split one epoch's change set into per-host slices."""
+        topology = diff.topology
+        added_endpoints = topology.added_endpoints()
+        added_delays = topology.current.delays_ms[topology.links_added]
+        removed_endpoints = topology.removed_endpoints()
+        changed_endpoints = topology.delay_changed_endpoints()
+        changed_delays = topology.delay_changed_values_ms()
+        # One vectorised delays_from() per ground station, sliced per host.
+        gst_delay_rows = {
+            name: state.paths.delays_from(state.node_index.ground_station(name))
+            for name in self.config.ground_station_names
+            if state.paths.has_source(state.node_index.ground_station(name))
+        }
+        activated_by_host, deactivated_by_host = self._group_transitions_by_manager(diff)
+        return [
+            self._slice_for(
+                position,
+                state,
+                manager,
+                activated_by_host[position],
+                deactivated_by_host[position],
+                gst_delay_rows,
+                added_endpoints,
+                added_delays,
+                removed_endpoints,
+                changed_endpoints,
+                changed_delays,
+            )
+            for position, manager in enumerate(self.managers)
+        ]
+
+    def _fan_out(self, slices: list[HostStateSlice], now_s: float) -> None:
+        """Apply the per-host slices, concurrently when there are several hosts.
+
+        Each manager only mutates its own host's machines, so the slices
+        can be applied in parallel; the per-manager counters and machine
+        transitions are deterministic regardless of completion order.
+        """
+        if self.concurrent_fanout and len(self.managers) > 1:
+            if self._fanout_pool is None:
+                self._fanout_pool = ThreadPoolExecutor(
+                    max_workers=len(self.managers),
+                    thread_name_prefix="celestial-fanout",
+                )
+            futures = [
+                self._fanout_pool.submit(manager.apply_diff, state_slice, now_s)
+                for manager, state_slice in zip(self.managers, slices)
+            ]
+            for future in futures:
+                future.result()
+        else:
+            for manager, state_slice in zip(self.managers, slices):
+                manager.apply_diff(state_slice, now_s)
+
+    def close(self) -> None:
+        """Release the fan-out thread pool (idempotent)."""
+        if self._fanout_pool is not None:
+            self._fanout_pool.shutdown(wait=True)
+            self._fanout_pool = None
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
     # -- updates ---------------------------------------------------------------
 
     def update(self, now_s: float) -> ConstellationState:
-        """Run one constellation update and distribute it to all hosts."""
+        """Run one constellation update and distribute it to all hosts.
+
+        The first epoch (and every epoch when ``incremental`` is off) runs
+        the full-replay path; afterwards the differential pipeline computes
+        state + diff, shards the diff by host and fans the slices out
+        concurrently.
+        """
         started = wallclock.perf_counter()
-        state = self.calculation.state_at(now_s)
-        self.database.set_state(state)
-        self._ensure_active_satellites(state, now_s)
-        for manager in self.managers:
-            manager.apply_state(state, now_s)
-        if self.network is not None:
-            self.network.mark_updated()
+        previous = self.database.state if self.database.has_state else None
+        if previous is None or not self.incremental:
+            state = self.calculation.state_at(now_s)
+            diff = None
+        else:
+            state, diff = self.calculation.diff_since(previous, now_s)
+        self.database.set_state(state, diff=diff)
+        if diff is None:
+            self._ensure_active_satellites(state, now_s)
+            for manager in self.managers:
+                manager.apply_state(state, now_s)
+            if self.network is not None:
+                self.network.mark_updated()
+            self.stats.full_updates += 1
+        else:
+            self._ensure_activated_satellites(diff, now_s)
+            self._fan_out(self._shard(state, diff), now_s)
+            if self.network is not None:
+                self.network.apply_diff(diff)
+            self.stats.diff_updates += 1
+            self.stats.diff_change_counts.append(diff.topology.change_count)
         self.stats.count += 1
         self.stats.wallclock_seconds.append(wallclock.perf_counter() - started)
         return state

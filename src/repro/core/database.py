@@ -5,6 +5,20 @@ Celestial hosts serve this information to the emulated machines through the
 HTTP info API (§3.2).  The database also acts as the rule provider for the
 virtual network: the delay/bandwidth installed for a machine pair is derived
 from the latest published state.
+
+Diff history and keyframes
+--------------------------
+
+Under the differential update protocol the coordinator publishes, per
+epoch, the new full state *plus* the
+:class:`~repro.core.constellation.ConstellationDiff` against the previous
+epoch.  The database keeps a rolling window of those diffs alongside
+periodic full-state **keyframes**: every ``keyframe_interval``-th epoch
+(and every epoch published without a diff) retains its complete state, and
+the diff history is pruned so that it always spans back to the oldest
+retained keyframe.  Consumers that fell behind can thus resynchronise from
+the nearest keyframe at or before their epoch and replay
+:meth:`diffs_since` forward, instead of re-reading the full constellation.
 """
 
 from __future__ import annotations
@@ -13,27 +27,92 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.constellation import ConstellationState, MachineId
+from repro.core.constellation import ConstellationDiff, ConstellationState, MachineId
 from repro.net.network import PairRule
 
 
 class ConstellationDatabase:
     """Holds the most recent constellation state and answers queries about it."""
 
-    def __init__(self):
+    def __init__(self, keyframe_interval: int = 10, retained_keyframes: int = 2):
+        if keyframe_interval <= 0:
+            raise ValueError("keyframe interval must be positive")
+        if retained_keyframes <= 0:
+            raise ValueError("at least one keyframe must be retained")
         self._state: Optional[ConstellationState] = None
         self.epoch = 0
         self.updated_at_s: Optional[float] = None
         self._rule_cache: dict[tuple[str, str], PairRule] = {}
+        self.keyframe_interval = keyframe_interval
+        self.retained_keyframes = retained_keyframes
+        self._keyframes: dict[int, ConstellationState] = {}
+        self._diffs: dict[int, ConstellationDiff] = {}
 
     # -- updates -----------------------------------------------------------
 
-    def set_state(self, state: ConstellationState) -> None:
-        """Publish a new constellation state (called by the coordinator)."""
+    def set_state(
+        self, state: ConstellationState, diff: Optional[ConstellationDiff] = None
+    ) -> None:
+        """Publish a new constellation state (called by the coordinator).
+
+        ``diff`` is the change set between the previously published epoch
+        and ``state``; epochs published without one (the first epoch, or a
+        full resynchronisation) always become keyframes, because the diff
+        chain towards them is broken.
+        """
         self._state = state
         self.epoch += 1
         self.updated_at_s = state.time_s
         self._rule_cache.clear()
+        if diff is not None:
+            self._diffs[self.epoch] = diff
+        if diff is None or (self.epoch - 1) % self.keyframe_interval == 0:
+            self._keyframes[self.epoch] = state
+            self._prune_history()
+
+    def _prune_history(self) -> None:
+        keyframe_epochs = sorted(self._keyframes)
+        for stale in keyframe_epochs[: -self.retained_keyframes]:
+            del self._keyframes[stale]
+        oldest_keyframe = min(self._keyframes)
+        for epoch in [e for e in self._diffs if e <= oldest_keyframe]:
+            del self._diffs[epoch]
+
+    # -- diff history ------------------------------------------------------
+
+    @property
+    def latest_diff(self) -> Optional[ConstellationDiff]:
+        """The diff between the two most recent epochs (None after a keyframe reset)."""
+        return self._diffs.get(self.epoch)
+
+    def keyframe_epochs(self) -> list[int]:
+        """Epoch numbers of the retained full-state keyframes (ascending)."""
+        return sorted(self._keyframes)
+
+    def keyframe_state(self, epoch: int) -> ConstellationState:
+        """The retained full state of a keyframe epoch."""
+        if epoch not in self._keyframes:
+            raise KeyError(f"epoch {epoch} is not a retained keyframe")
+        return self._keyframes[epoch]
+
+    def diffs_since(self, epoch: int) -> list[ConstellationDiff]:
+        """The diff chain replaying ``epoch`` forward to the current epoch.
+
+        ``epoch`` must be at or after the oldest retained keyframe (older
+        history has been pruned) and the chain must be unbroken — a
+        consumer at ``epoch`` applies the returned diffs in order to arrive
+        at the current state.
+        """
+        if epoch > self.epoch:
+            raise KeyError(f"epoch {epoch} is in the future (current: {self.epoch})")
+        wanted = range(epoch + 1, self.epoch + 1)
+        missing = [e for e in wanted if e not in self._diffs]
+        if missing:
+            raise KeyError(
+                f"diff history no longer covers epochs {missing}; "
+                f"resynchronise from a keyframe ({self.keyframe_epochs()})"
+            )
+        return [self._diffs[e] for e in wanted]
 
     @property
     def state(self) -> ConstellationState:
@@ -81,6 +160,10 @@ class ConstellationDatabase:
             "ground_stations": len(state.ground_positions_ecef),
             "active_satellites": state.active_count(),
             "links": state.graph.total_links(),
+            "keyframe_epochs": self.keyframe_epochs(),
+            "last_diff": (
+                self.latest_diff.summary() if self.latest_diff is not None else None
+            ),
         }
 
     def shell_info(self, shell: int) -> dict:

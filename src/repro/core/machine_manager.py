@@ -4,10 +4,33 @@ Each Celestial host runs a Machine Manager that creates and boots the
 microVMs assigned to it, suspends/resumes them when they leave/enter the
 bounding box, applies machine parameter changes at runtime (fault injection,
 CPU quotas) and reports host resource usage (§3, Fig. 2).
+
+Differential update contract
+----------------------------
+
+Under the differential protocol the coordinator no longer replays the full
+constellation state to every manager.  Instead each manager receives a
+:class:`HostStateSlice` — only the part of the epoch's change set that
+involves its own machines — and applies it with
+:meth:`MachineManager.apply_diff`:
+
+* ``activated``/``deactivated`` are the host's machines whose bounding-box
+  activity flipped since the previous epoch; the manager resumes/suspends
+  exactly those, instead of scanning its whole fleet.
+* machines whose lifecycle changed *outside* the protocol (created, stopped
+  or rebooted between updates) are tracked in a dirty set and reconciled
+  against the activity flags the coordinator ships in
+  ``dirty_active`` — this keeps the incremental path byte-equivalent to a
+  full :meth:`MachineManager.apply_state` sweep.
+* the link arrays and per-ground-station delay vectors describe the network
+  changes touching this host; they are informational state the real system
+  would turn into netem rules (the virtual network consumes the same diff
+  centrally) and are exposed via :attr:`MachineManager.last_slice`.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
@@ -24,6 +47,53 @@ from repro.microvm import (
 )
 
 
+@dataclass(frozen=True)
+class HostStateSlice:
+    """Per-host slice of one differential constellation update.
+
+    The coordinator guarantees that every machine named in ``activated``,
+    ``deactivated`` and ``dirty_active`` is hosted by the receiving manager,
+    and that the link arrays are restricted to pairs with at least one
+    endpoint among ``machine_nodes`` (the host's flat node indices).
+    ``gst_delays_ms[name]`` is aligned with ``machine_nodes`` and holds the
+    shortest-path delay from ground station ``name`` to each machine;
+    ``uplink_delays_ms``/``uplink_bandwidths_kbps`` hold the *direct* uplink
+    parameters between each ground station and the host's machines
+    (``inf``/``0`` where no direct link exists), batched through the
+    vectorised ``edge_ids_between`` lookup.
+    """
+
+    host_index: int
+    time_s: float
+    epoch: int
+    activated: tuple[MachineId, ...]
+    deactivated: tuple[MachineId, ...]
+    dirty_active: dict[str, bool]
+    machine_nodes: np.ndarray
+    links_added: np.ndarray
+    added_delays_ms: np.ndarray
+    links_removed: np.ndarray
+    links_delay_changed: np.ndarray
+    delay_changed_ms: np.ndarray
+    gst_delays_ms: dict[str, np.ndarray] = field(default_factory=dict)
+    uplink_delays_ms: dict[str, np.ndarray] = field(default_factory=dict)
+    uplink_bandwidths_kbps: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def link_change_count(self) -> int:
+        """Number of changed links touching this host."""
+        return int(
+            self.links_added.shape[0]
+            + self.links_removed.shape[0]
+            + self.links_delay_changed.shape[0]
+        )
+
+    @property
+    def activity_change_count(self) -> int:
+        """Number of suspend/resume transitions in this slice."""
+        return len(self.activated) + len(self.deactivated)
+
+
 class MachineManager:
     """Manages the microVMs of one host."""
 
@@ -33,6 +103,11 @@ class MachineManager:
         self._machine_ids: dict[str, MachineId] = {}
         self.suspension_count = 0
         self.resume_count = 0
+        # Machines whose lifecycle changed outside the diff protocol since
+        # the last update; reconciled (and cleared) by apply_diff/apply_state.
+        self._dirty: set[str] = set()
+        self.last_slice: Optional[HostStateSlice] = None
+        self.applied_diffs = 0
 
     # -- machine creation ---------------------------------------------------
 
@@ -59,6 +134,7 @@ class MachineManager:
         machine.cpu_quota.set_quota(compute.cpu_quota)
         self.host.place(machine)
         self._machine_ids[machine_id.name] = machine_id
+        self._dirty.add(machine_id.name)
         return machine
 
     def has_machine(self, machine_id: MachineId) -> bool:
@@ -77,6 +153,7 @@ class MachineManager:
 
     def boot(self, machine_id: MachineId, now_s: float) -> float:
         """Boot a created machine; returns the boot-finished time."""
+        self._dirty.add(machine_id.name)
         return self.machine(machine_id).boot(now_s)
 
     def boot_all(self, now_s: float) -> float:
@@ -88,7 +165,11 @@ class MachineManager:
         return finished
 
     def apply_state(self, state: ConstellationState, now_s: float) -> None:
-        """Suspend/resume local satellites according to the bounding box."""
+        """Suspend/resume local satellites with a full sweep over the state.
+
+        This is the full-replay reference path (and the first-epoch path);
+        steady-state updates go through :meth:`apply_diff` instead.
+        """
         for name, machine_id in self._machine_ids.items():
             if machine_id.is_ground_station:
                 continue
@@ -96,12 +177,54 @@ class MachineManager:
             if machine is None:
                 continue
             active = state.is_active(machine_id)
-            if machine.state is MachineState.RUNNING and not active:
-                machine.suspend(now_s)
-                self.suspension_count += 1
-            elif machine.state is MachineState.SUSPENDED and active:
-                machine.resume(now_s)
-                self.resume_count += 1
+            self._reconcile_activity(machine, active, now_s)
+        self._dirty.clear()
+
+    def _reconcile_activity(self, machine: MicroVM, active: bool, now_s: float) -> None:
+        if machine.state is MachineState.RUNNING and not active:
+            machine.suspend(now_s)
+            self.suspension_count += 1
+        elif machine.state is MachineState.SUSPENDED and active:
+            machine.resume(now_s)
+            self.resume_count += 1
+
+    def dirty_machine_ids(self) -> list[MachineId]:
+        """Machines whose lifecycle changed outside the diff protocol.
+
+        The coordinator reads this when sharding an update so it can ship
+        the current activity flag of exactly these machines in the slice's
+        ``dirty_active`` map.
+        """
+        return [self._machine_ids[name] for name in self._dirty if name in self._machine_ids]
+
+    def apply_diff(self, state_slice: HostStateSlice, now_s: float) -> None:
+        """Apply one differential update slice to this host's machines.
+
+        Only the machines named in the slice are touched: bounding-box
+        transitions suspend/resume exactly the machines that crossed the
+        boundary, then machines marked dirty since the last update are
+        reconciled against the shipped activity flags.  Both steps guard on
+        the current microVM state, so the result (including the
+        suspend/resume counters) is identical to a full
+        :meth:`apply_state` sweep.
+        """
+        for machine_id in state_slice.deactivated:
+            machine = self.host.machines.get(machine_id.name)
+            if machine is not None:
+                self._reconcile_activity(machine, False, now_s)
+        for machine_id in state_slice.activated:
+            machine = self.host.machines.get(machine_id.name)
+            if machine is not None:
+                self._reconcile_activity(machine, True, now_s)
+        for name, active in state_slice.dirty_active.items():
+            machine_id = self._machine_ids.get(name)
+            machine = self.host.machines.get(name)
+            if machine_id is None or machine is None or machine_id.is_ground_station:
+                continue
+            self._reconcile_activity(machine, active, now_s)
+        self._dirty.clear()
+        self.last_slice = state_slice
+        self.applied_diffs += 1
 
     def is_running_at(self, machine_id: MachineId, now_s: float) -> bool:
         """Whether a machine is running (boot finished, not suspended) at a time."""
@@ -115,9 +238,11 @@ class MachineManager:
     def stop_machine(self, machine_id: MachineId, now_s: float) -> None:
         """Terminate a machine (e.g. modelling a radiation-induced shutdown)."""
         self.machine(machine_id).stop(now_s)
+        self._dirty.add(machine_id.name)
 
     def reboot_machine(self, machine_id: MachineId, now_s: float) -> float:
         """Reboot a machine; returns the time it is running again."""
+        self._dirty.add(machine_id.name)
         return self.machine(machine_id).reboot(now_s)
 
     def set_cpu_quota(self, machine_id: MachineId, quota_fraction: float) -> None:

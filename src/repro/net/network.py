@@ -8,16 +8,27 @@ latest constellation state whenever the coordinator publishes an update.
 Links are materialised lazily — only pairs that actually exchange traffic
 allocate state, which keeps Starlink-scale configurations tractable while
 matching what applications can observe.
+
+Under the differential update protocol the coordinator hands the network a
+:class:`~repro.core.constellation.ConstellationDiff` per epoch
+(:meth:`VirtualNetwork.apply_diff`) instead of a blanket
+:meth:`VirtualNetwork.mark_updated`: an epoch whose diff is empty leaves
+every materialised link's cached rule valid, while any edge change bumps
+the rule epoch — end-to-end delays are shortest-path values, so a single
+changed edge may affect any pair, and the per-pair refresh stays lazy.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
 
 from repro.core.constellation import MachineId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.core.constellation import ConstellationDiff
 from repro.netem import EmulatedLink, NetemRule
 from repro.net.packet import Message
 from repro.sim import Simulation, Store
@@ -67,6 +78,21 @@ class VirtualNetwork:
 
     def mark_updated(self) -> None:
         """Invalidate cached link rules after a constellation update."""
+        self._epoch += 1
+
+    def apply_diff(self, diff: "ConstellationDiff") -> None:
+        """Consume one epoch's constellation diff instead of a full re-mark.
+
+        When nothing changed between the epochs, all cached per-pair rules
+        remain valid and no invalidation happens.  Otherwise the rule epoch
+        is bumped: path delays are global functions of the edge set, so any
+        edge change can affect any machine pair — but rules are still only
+        re-derived lazily, the next time a pair actually carries traffic.
+        Suspend/resume transitions need no invalidation at all because
+        machine liveness is checked per message.
+        """
+        if diff.topology.is_empty:
+            return
         self._epoch += 1
 
     def set_loss_override(

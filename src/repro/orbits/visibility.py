@@ -39,6 +39,23 @@ def elevation_angle_deg(
     return np.degrees(np.arcsin(sin_elevation))
 
 
+def elevation_angle_matrix_deg(
+    ground_positions: np.ndarray, satellite_positions: np.ndarray
+) -> np.ndarray:
+    """Elevation matrix [deg] of shape ``(G, N)`` for G ground points and N satellites.
+
+    One batched matrix operation over the stacked GST×satellite position
+    array, replacing G separate :func:`elevation_angle_deg` calls on the
+    constellation-snapshot hot path.  Row ``g`` is bitwise identical to
+    ``elevation_angle_deg(ground_positions[g], satellite_positions)``: the
+    broadcasting performs exactly the same elementwise operations in the same
+    order, which the differential-update equivalence suite relies on.
+    """
+    ground = np.asarray(ground_positions, dtype=float).reshape(-1, 1, 3)
+    satellites = np.asarray(satellite_positions, dtype=float)
+    return elevation_angle_deg(ground, satellites)
+
+
 def ground_station_visible(
     ground_position: np.ndarray,
     satellite_position: np.ndarray,
@@ -46,6 +63,28 @@ def ground_station_visible(
 ) -> np.ndarray:
     """Whether a satellite is above the minimum elevation for a ground station."""
     return elevation_angle_deg(ground_position, satellite_position) >= min_elevation_deg
+
+
+def isl_closest_approach_km(
+    position_a: np.ndarray, position_b: np.ndarray
+) -> np.ndarray:
+    """Closest approach [km] of the segment between two satellites to Earth's centre.
+
+    This is the quantity :func:`isl_line_of_sight` thresholds against the
+    atmosphere-grazing limit.  It is exposed separately because the
+    differential update path caches it between epochs: the function is
+    1-Lipschitz in each endpoint position, so between two epochs the value
+    can move by at most the largest endpoint displacement — a certified
+    margin that lets steady links skip the recomputation entirely.
+    """
+    a = np.asarray(position_a, dtype=float)
+    b = np.asarray(position_b, dtype=float)
+    ab = b - a
+    ab_sq = np.sum(ab * ab, axis=-1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        t = np.clip(-np.sum(a * ab, axis=-1) / np.where(ab_sq == 0, 1.0, ab_sq), 0.0, 1.0)
+    closest = a + ab * t[..., None] if np.ndim(t) else a + ab * t
+    return np.linalg.norm(closest, axis=-1)
 
 
 def isl_line_of_sight(
@@ -59,16 +98,8 @@ def isl_line_of_sight(
     to the Earth's centre falls below ``earth_radius + grazing_altitude`` and
     the closest point lies between the two satellites.
     """
-    a = np.asarray(position_a, dtype=float)
-    b = np.asarray(position_b, dtype=float)
-    ab = b - a
-    ab_sq = np.sum(ab * ab, axis=-1)
-    with np.errstate(invalid="ignore", divide="ignore"):
-        t = np.clip(-np.sum(a * ab, axis=-1) / np.where(ab_sq == 0, 1.0, ab_sq), 0.0, 1.0)
-    closest = a + ab * t[..., None] if np.ndim(t) else a + ab * t
-    closest_distance = np.linalg.norm(closest, axis=-1)
     limit = constants.EARTH_RADIUS_KM + grazing_altitude_km
-    return closest_distance >= limit
+    return isl_closest_approach_km(position_a, position_b) >= limit
 
 
 def max_isl_length_km(

@@ -1,9 +1,15 @@
-"""Ready-made scenario configurations from the paper's evaluation.
+"""Ready-made scenario configurations from the paper's evaluation and beyond.
 
 * :mod:`repro.scenarios.starlink` — the planned phase I Starlink constellation
   (five shells, 4,409 satellites; Fig. 1).
 * :mod:`repro.scenarios.iridium` — the Iridium constellation used by the DART
   case study (66 satellites, 180° arc of ascending nodes; Fig. 10).
+* :mod:`repro.scenarios.kuiper` — the Project Kuiper system (three shells,
+  3,236 satellites).
+* :mod:`repro.scenarios.oneweb` — the OneWeb constellation (648 satellites,
+  near-polar Walker-star, exercising the +GRID seam at scale).
+* :mod:`repro.scenarios.mixed` — a mixed-operator Starlink + Kuiper + OneWeb
+  configuration stressing multi-shell uplink selection.
 * :mod:`repro.scenarios.west_africa` — the §4 meetup/video-conference
   deployment with clients in Accra, Abuja and Yaoundé and a cloud data centre
   in Johannesburg (Fig. 3).
@@ -17,6 +23,16 @@ from repro.scenarios.starlink import (
     starlink_phase1_total_satellites,
 )
 from repro.scenarios.iridium import iridium_shell
+from repro.scenarios.kuiper import (
+    kuiper_first_shell,
+    kuiper_shells,
+    kuiper_total_satellites,
+)
+from repro.scenarios.oneweb import oneweb_shell, oneweb_total_satellites
+from repro.scenarios.mixed import (
+    MIXED_GROUND_STATIONS,
+    mixed_operator_configuration,
+)
 from repro.scenarios.west_africa import (
     CLIENT_LOCATIONS,
     CLOUD_LOCATION,
@@ -33,11 +49,18 @@ from repro.scenarios.pacific import (
 __all__ = [
     "CLIENT_LOCATIONS",
     "CLOUD_LOCATION",
+    "MIXED_GROUND_STATIONS",
     "PACIFIC_TSUNAMI_WARNING_CENTER",
     "dart_configuration",
     "generate_buoys",
     "generate_sinks",
     "iridium_shell",
+    "kuiper_first_shell",
+    "kuiper_shells",
+    "kuiper_total_satellites",
+    "mixed_operator_configuration",
+    "oneweb_shell",
+    "oneweb_total_satellites",
     "starlink_first_shell",
     "starlink_phase1_shells",
     "starlink_phase1_total_satellites",

@@ -1,0 +1,75 @@
+"""A mixed-operator scenario: Starlink, OneWeb and Kuiper shells together.
+
+This configuration stresses the multi-shell uplink selection paths: each
+ground station sees three operators whose shells differ in altitude
+(550/630/1,200 km), pattern (Walker-delta vs. the OneWeb Walker-star with
+its counter-rotating seam) and minimum elevation angle (25°/35°/15°), so
+every elevation check, per-shell uplink bundle and shell-offset translation
+is exercised in one topology.  Ground stations are spread across latitudes
+— equatorial, mid-latitude and polar — because the shells' inclinations
+make shell visibility latitude-dependent (only the near-polar OneWeb shell
+covers the polar station).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import (
+    ComputeParams,
+    Configuration,
+    GroundStationConfig,
+    HostConfig,
+)
+from repro.orbits import Epoch, GroundStation
+from repro.scenarios.kuiper import kuiper_shells
+from repro.scenarios.oneweb import oneweb_shell
+from repro.scenarios.starlink import starlink_first_shell
+
+#: Ground stations spanning equatorial to polar latitudes.
+MIXED_GROUND_STATIONS = {
+    "quito": GroundStation("quito", -0.1807, -78.4678),
+    "berlin": GroundStation("berlin", 52.5200, 13.4050),
+    "longyearbyen": GroundStation("longyearbyen", 78.2232, 15.6267),
+}
+
+#: Resources of the ground-station servers.
+STATION_COMPUTE = ComputeParams(vcpu_count=4, memory_mib=4096)
+#: Resources of the satellite servers.
+SERVER_COMPUTE = ComputeParams(vcpu_count=2, memory_mib=512)
+
+
+def mixed_operator_configuration(
+    duration_s: float = 600.0,
+    update_interval_s: float = 2.0,
+    kuiper_shell_limit: Optional[int] = 1,
+    seed: int = 0,
+    epoch: Optional[Epoch] = None,
+) -> Configuration:
+    """Configuration combining one shell per operator (plus optional Kuiper extras).
+
+    The default keeps one shell each of Starlink (1,584 satellites at
+    550 km), Kuiper (1,156 at 630 km) and OneWeb (648 at 1,200 km) — 3,388
+    satellites across three operators; ``kuiper_shell_limit=None`` enables
+    the full 3,236-satellite Kuiper system for a 5,468-satellite stress
+    configuration.
+    """
+    shells = (
+        starlink_first_shell(SERVER_COMPUTE),
+        *kuiper_shells(SERVER_COMPUTE, limit=kuiper_shell_limit),
+        oneweb_shell(SERVER_COMPUTE),
+    )
+    ground_stations = tuple(
+        GroundStationConfig(station=station, compute=STATION_COMPUTE)
+        for station in MIXED_GROUND_STATIONS.values()
+    )
+    return Configuration(
+        shells=shells,
+        ground_stations=ground_stations,
+        bounding_box=None,
+        hosts=HostConfig(count=4, cpu_cores=32, memory_mib=64 * 1024),
+        epoch=epoch if epoch is not None else Epoch(),
+        update_interval_s=update_interval_s,
+        duration_s=duration_s,
+        seed=seed,
+    )

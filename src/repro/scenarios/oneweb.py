@@ -1,0 +1,50 @@
+"""The OneWeb first-generation constellation.
+
+A single shell of 648 satellites in 18 near-polar planes of 36 satellites
+at 1,200 km altitude and 87.9° inclination.  Like Iridium, OneWeb is a
+Walker-star pattern: the ascending nodes are spread over only half the
+globe (180° arc), which creates the two counter-rotating seam planes where
+no inter-plane ISLs exist — exercising the same +GRID seam logic as the
+DART case study, but at a ten times larger scale.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ComputeParams, NetworkParams, ShellConfig
+from repro.orbits import ShellGeometry
+
+#: Minimum elevation for OneWeb user terminals [deg].
+ONEWEB_MIN_ELEVATION_DEG = 15.0
+#: ISL / gateway link bandwidth assumed for OneWeb: 2.5 Gb/s class.
+ONEWEB_BANDWIDTH_KBPS = 2_500_000.0
+
+
+def oneweb_network_params() -> NetworkParams:
+    """Network parameters of the OneWeb shell."""
+    return NetworkParams(
+        isl_bandwidth_kbps=ONEWEB_BANDWIDTH_KBPS,
+        uplink_bandwidth_kbps=ONEWEB_BANDWIDTH_KBPS,
+        min_elevation_deg=ONEWEB_MIN_ELEVATION_DEG,
+    )
+
+
+def oneweb_shell(satellite_compute: ComputeParams | None = None) -> ShellConfig:
+    """Shell configuration of the OneWeb constellation (648 satellites)."""
+    compute = satellite_compute or ComputeParams(vcpu_count=2, memory_mib=512)
+    return ShellConfig(
+        name="oneweb",
+        geometry=ShellGeometry(
+            planes=18,
+            satellites_per_plane=36,
+            altitude_km=1200.0,
+            inclination_deg=87.9,
+            arc_of_ascending_nodes_deg=180.0,
+        ),
+        network=oneweb_network_params(),
+        compute=compute,
+    )
+
+
+def oneweb_total_satellites() -> int:
+    """Total satellites of the OneWeb shell (648)."""
+    return 18 * 36

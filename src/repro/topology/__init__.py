@@ -1,6 +1,6 @@
 """Constellation network topology: ISLs, uplinks, link parameters, shortest paths."""
 
-from repro.topology.graph import Link, LinkType, NetworkGraph, NodeIndex
+from repro.topology.graph import Link, LinkType, NetworkGraph, NodeIndex, TopologyDiff
 from repro.topology.isl import grid_plus_isl_pairs
 from repro.topology.linkparams import (
     link_delay_ms,
@@ -8,7 +8,7 @@ from repro.topology.linkparams import (
     serialization_delay_ms,
 )
 from repro.topology.paths import PathResult, ShortestPaths
-from repro.topology.uplinks import visible_satellites
+from repro.topology.uplinks import visible_satellites, visible_satellites_batch
 
 __all__ = [
     "Link",
@@ -17,9 +17,11 @@ __all__ = [
     "NodeIndex",
     "PathResult",
     "ShortestPaths",
+    "TopologyDiff",
     "grid_plus_isl_pairs",
     "link_delay_ms",
     "propagation_delay_ms",
     "serialization_delay_ms",
     "visible_satellites",
+    "visible_satellites_batch",
 ]

@@ -39,6 +39,23 @@ The legacy object API — :class:`Link` dataclasses, ``graph.links``,
 ``links_of`` and ``link_between`` — is preserved as thin views over the
 arrays, so existing consumers (animation export, tests, benchmarks) keep
 working unchanged.
+
+Epoch-to-epoch diffs
+--------------------
+
+Consecutive constellation epochs share almost their entire edge structure:
+ISL endpoints are static per shell and only a small fraction of uplinks
+appear or disappear between updates.  :meth:`NetworkGraph.diff_from`
+compares two epochs' edge arrays and emits a :class:`TopologyDiff` —
+``links_added`` / ``links_removed`` / ``delay_changed`` /
+``bandwidth_changed`` edge-id index arrays — which the coordinator shards
+into per-host slices instead of replaying the full state.
+:meth:`NetworkGraph.structurally_equal` answers the cheaper "same edge set?"
+question.  :meth:`NetworkGraph.from_edge_arrays` builds a finalised graph
+directly from parallel arrays, optionally sharing the derived caches (sorted
+pair keys, CSR adjacency, delay-matrix structure) of a structurally
+identical previous epoch so that steady-state updates skip the argsort and
+sparse-matrix reconstruction entirely.
 """
 
 from __future__ import annotations
@@ -91,6 +108,93 @@ class Link:
         if node == self.node_b:
             return self.node_a
         raise ValueError(f"node {node} is not an endpoint of this link")
+
+
+@dataclass(frozen=True)
+class TopologyDiff:
+    """Edge-level difference between two epochs of the constellation network.
+
+    The index arrays refer to edge ids: ``links_added``, ``delay_changed``
+    and ``bandwidth_changed`` index into the *current* graph's edge arrays,
+    ``links_removed`` into the *previous* graph's.  ``delay_changed`` and
+    ``bandwidth_changed`` cover pairs present in both epochs whose attribute
+    value differs; a pair that (dis)appeared is only reported as
+    added/removed.  Both graphs are kept on the diff so consumers (the
+    coordinator's per-host slicing, the virtual network) can resolve ids to
+    endpoints and new values without a separate lookup channel.
+    """
+
+    previous: "NetworkGraph"
+    current: "NetworkGraph"
+    links_added: np.ndarray
+    links_removed: np.ndarray
+    delay_changed: np.ndarray
+    bandwidth_changed: np.ndarray
+
+    @property
+    def structural_change_count(self) -> int:
+        """Number of links that appeared or disappeared."""
+        return int(self.links_added.size + self.links_removed.size)
+
+    @property
+    def change_count(self) -> int:
+        """Total number of changed edges (structural + attribute changes)."""
+        return self.structural_change_count + int(
+            self.delay_changed.size + self.bandwidth_changed.size
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the two epochs are byte-identical at the edge level."""
+        return self.change_count == 0
+
+    @property
+    def is_structural_noop(self) -> bool:
+        """Whether the edge *set* is unchanged (only delays/bandwidths moved)."""
+        return self.structural_change_count == 0
+
+    # -- endpoint / value views ------------------------------------------
+
+    def added_endpoints(self) -> np.ndarray:
+        """``(k, 2)`` node pairs of the added links (current-graph order)."""
+        return np.column_stack(
+            (self.current.node_a[self.links_added], self.current.node_b[self.links_added])
+        )
+
+    def removed_endpoints(self) -> np.ndarray:
+        """``(k, 2)`` node pairs of the removed links (previous-graph order)."""
+        return np.column_stack(
+            (self.previous.node_a[self.links_removed], self.previous.node_b[self.links_removed])
+        )
+
+    def delay_changed_endpoints(self) -> np.ndarray:
+        """``(k, 2)`` node pairs of surviving links whose delay changed."""
+        return np.column_stack(
+            (self.current.node_a[self.delay_changed], self.current.node_b[self.delay_changed])
+        )
+
+    def delay_changed_values_ms(self) -> np.ndarray:
+        """New one-way delays [ms] of the ``delay_changed`` links."""
+        return self.current.delays_ms[self.delay_changed]
+
+    def bandwidth_changed_endpoints(self) -> np.ndarray:
+        """``(k, 2)`` node pairs of surviving links whose bandwidth changed."""
+        return np.column_stack(
+            (self.current.node_a[self.bandwidth_changed], self.current.node_b[self.bandwidth_changed])
+        )
+
+    def bandwidth_changed_values_kbps(self) -> np.ndarray:
+        """New bandwidths [kbps] of the ``bandwidth_changed`` links."""
+        return self.current.bandwidths_kbps[self.bandwidth_changed]
+
+    def summary(self) -> dict[str, int]:
+        """Compact counters (used by logging and the info API)."""
+        return {
+            "links_added": int(self.links_added.size),
+            "links_removed": int(self.links_removed.size),
+            "delay_changed": int(self.delay_changed.size),
+            "bandwidth_changed": int(self.bandwidth_changed.size),
+        }
 
 
 class NodeIndex:
@@ -199,8 +303,10 @@ class NetworkGraph:
         self._bandwidth_kbps = np.empty(0, dtype=np.float64)
         self._type_code = np.empty(0, dtype=np.int8)
         self._edge_of: Optional[dict[int, int]] = None
+        self._keys = np.empty(0, dtype=np.int64)
         self._sorted_keys = np.empty(0, dtype=np.int64)
         self._sorted_edge_ids = np.empty(0, dtype=np.int64)
+        self._csr_template: Optional[tuple[np.ndarray, np.ndarray, np.ndarray]] = None
         self._adj_indptr: Optional[np.ndarray] = None
         self._adj_nodes: Optional[np.ndarray] = None
         self._adj_edges: Optional[np.ndarray] = None
@@ -269,6 +375,75 @@ class NetworkGraph:
         self._chunks.append((node_a, node_b, distance_km, delay_ms, bandwidth, type_code))
         self._invalidate()
 
+    @classmethod
+    def from_edge_arrays(
+        cls,
+        index: NodeIndex,
+        node_a: np.ndarray,
+        node_b: np.ndarray,
+        distance_km: np.ndarray,
+        delay_ms: np.ndarray,
+        bandwidth_kbps: np.ndarray,
+        type_code: np.ndarray,
+        structure_from: Optional["NetworkGraph"] = None,
+    ) -> "NetworkGraph":
+        """Build a finalised graph directly from parallel edge arrays.
+
+        This is the differential-update fast path: the caller provides the
+        complete edge set (endpoint pairs must be unique — verified cheaply
+        from the sorted keys) and the graph skips the chunked ``add_links``
+        append/deduplicate machinery.  When ``structure_from`` is a finalised
+        graph over an equally sized node index whose edge keys match in
+        insertion order — the steady-state case, where only delays and
+        bandwidths moved — its derived caches (sorted key array, pair-key
+        hash map, CSR adjacency and the delay-matrix structure template) are
+        shared instead of recomputed; none of them are ever mutated after
+        construction, so sharing is safe.
+        """
+        graph = cls(index)
+        graph._node_a = np.ascontiguousarray(node_a, dtype=np.int64)
+        graph._node_b = np.ascontiguousarray(node_b, dtype=np.int64)
+        count = graph._node_a.size
+        if graph._node_b.size != count:
+            raise ValueError("endpoint arrays must be of equal length")
+        graph._distance_km = np.ascontiguousarray(distance_km, dtype=np.float64)
+        graph._delay_ms = np.ascontiguousarray(delay_ms, dtype=np.float64)
+        graph._bandwidth_kbps = np.ascontiguousarray(bandwidth_kbps, dtype=np.float64)
+        graph._type_code = np.ascontiguousarray(type_code, dtype=np.int8)
+        if count:
+            if np.any(graph._node_a == graph._node_b):
+                raise ValueError("self-links are not allowed")
+            lo = min(int(graph._node_a.min()), int(graph._node_b.min()))
+            hi = max(int(graph._node_a.max()), int(graph._node_b.max()))
+            if lo < 0 or hi >= graph._node_count:
+                raise ValueError("link endpoints out of range")
+        keys = (
+            np.minimum(graph._node_a, graph._node_b) * np.int64(graph._node_count)
+            + np.maximum(graph._node_a, graph._node_b)
+        )
+        graph._keys = keys
+        if (
+            structure_from is not None
+            and structure_from._finalized
+            and structure_from._node_count == graph._node_count
+            and np.array_equal(keys, structure_from._keys)
+        ):
+            graph._sorted_keys = structure_from._sorted_keys
+            graph._sorted_edge_ids = structure_from._sorted_edge_ids
+            graph._edge_of = structure_from._edge_of
+            graph._adj_indptr = structure_from._adj_indptr
+            graph._adj_nodes = structure_from._adj_nodes
+            graph._adj_edges = structure_from._adj_edges
+            graph._csr_template = structure_from._csr_template
+        else:
+            sort = np.argsort(keys)
+            if keys.size and np.any(np.diff(keys[sort]) == 0):
+                raise ValueError("from_edge_arrays requires unique node pairs")
+            graph._sorted_keys = keys[sort]
+            graph._sorted_edge_ids = sort.astype(np.int64)
+        graph._finalized = True
+        return graph
+
     def _invalidate(self) -> None:
         self._finalized = False
         self._links_view = None
@@ -276,6 +451,7 @@ class NetworkGraph:
         self._adj_indptr = None
         self._adj_nodes = None
         self._adj_edges = None
+        self._csr_template = None
 
     def _finalize(self) -> None:
         """Concatenate pending chunks and deduplicate node pairs (min delay)."""
@@ -309,6 +485,7 @@ class NetworkGraph:
             self._type_code = self._type_code[keep]
             keys = keys[keep]
             sort = np.argsort(keys)
+        self._keys = keys
         self._sorted_keys = keys[sort]
         self._sorted_edge_ids = sort.astype(np.int64)
         self._finalized = True
@@ -420,16 +597,29 @@ class NetworkGraph:
         ``csgraph`` solvers (which treat explicit zeros as missing edges) keep
         co-located nodes reachable.  Duplicate node pairs have already been
         reduced to their minimum-delay link by :meth:`_finalize`.
+
+        The sparsity structure (data permutation, column indices, row
+        pointers) only depends on the edge set, so it is cached — and shared
+        across structurally identical epochs via :meth:`from_edge_arrays` —
+        leaving a pure delay-scatter per call.
         """
         self._finalize()
         n = self._node_count
         if self._node_a.size == 0:
             return sparse.csr_matrix((n, n))
+        if self._csr_template is None:
+            rows = np.concatenate([self._node_a, self._node_b])
+            cols = np.concatenate([self._node_b, self._node_a])
+            order = np.lexsort((cols, rows))
+            indices = cols[order]
+            indptr = np.concatenate(
+                [[0], np.cumsum(np.bincount(rows, minlength=n))]
+            ).astype(np.int64)
+            self._csr_template = (order, indices, indptr)
+        order, indices, indptr = self._csr_template
         delays = np.maximum(self._delay_ms, DELAY_EPSILON_MS)
-        rows = np.concatenate([self._node_a, self._node_b])
-        cols = np.concatenate([self._node_b, self._node_a])
-        data = np.concatenate([delays, delays])
-        return sparse.csr_matrix((data, (rows, cols)), shape=(n, n))
+        data = np.concatenate([delays, delays])[order]
+        return sparse.csr_matrix((data, indices, indptr), shape=(n, n))
 
     def links_of(self, node: int) -> list[Link]:
         """All links incident to a node (empty for out-of-range nodes)."""
@@ -473,6 +663,75 @@ class NetworkGraph:
         found = self._sorted_keys[positions] == keys
         edges = np.where(found, self._sorted_edge_ids[positions], -1)
         return edges
+
+    # -- epoch diffs ---------------------------------------------------------
+
+    def structurally_equal(self, other: "NetworkGraph") -> bool:
+        """Whether both graphs contain exactly the same set of node pairs."""
+        if self._node_count != other._node_count:
+            return False
+        self._finalize()
+        other._finalize()
+        return np.array_equal(self._sorted_keys, other._sorted_keys)
+
+    def diff_from(self, previous: "NetworkGraph") -> TopologyDiff:
+        """Diff this epoch's edge arrays against a previous epoch's.
+
+        Emits a :class:`TopologyDiff` with ``links_added`` /
+        ``links_removed`` / ``delay_changed`` / ``bandwidth_changed``
+        edge-id index arrays (see the class docstring for which graph each
+        array indexes into).  Attribute changes are detected by exact float
+        comparison: the constellation calculation recomputes both epochs
+        with bitwise-identical operations, so any genuine movement differs
+        exactly.
+        """
+        if self._node_count != previous._node_count:
+            raise ValueError("graphs must share the same node index layout")
+        self._finalize()
+        previous._finalize()
+        empty = np.empty(0, dtype=np.int64)
+        if np.array_equal(self._keys, previous._keys):
+            # Steady state: identical edge sets in identical insertion order,
+            # so edge ids line up 1:1 and no set intersection is needed.
+            delay_changed = np.nonzero(self._delay_ms != previous._delay_ms)[0]
+            bandwidth_changed = np.nonzero(
+                self._bandwidth_kbps != previous._bandwidth_kbps
+            )[0]
+            return TopologyDiff(
+                previous=previous,
+                current=self,
+                links_added=empty,
+                links_removed=empty,
+                delay_changed=delay_changed,
+                bandwidth_changed=bandwidth_changed,
+            )
+        _, in_current, in_previous = np.intersect1d(
+            self._sorted_keys,
+            previous._sorted_keys,
+            assume_unique=True,
+            return_indices=True,
+        )
+        common_current = self._sorted_edge_ids[in_current]
+        common_previous = previous._sorted_edge_ids[in_previous]
+        added_mask = np.ones(self._node_a.size, dtype=bool)
+        added_mask[common_current] = False
+        removed_mask = np.ones(previous._node_a.size, dtype=bool)
+        removed_mask[common_previous] = False
+        delay_changed = common_current[
+            self._delay_ms[common_current] != previous._delay_ms[common_previous]
+        ]
+        bandwidth_changed = common_current[
+            self._bandwidth_kbps[common_current]
+            != previous._bandwidth_kbps[common_previous]
+        ]
+        return TopologyDiff(
+            previous=previous,
+            current=self,
+            links_added=np.nonzero(added_mask)[0],
+            links_removed=np.nonzero(removed_mask)[0],
+            delay_changed=np.sort(delay_changed),
+            bandwidth_changed=np.sort(bandwidth_changed),
+        )
 
     def degree(self, node: int) -> int:
         """Number of links incident to a node (0 for out-of-range nodes)."""

@@ -16,7 +16,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.orbits import constants
-from repro.orbits.visibility import elevation_angle_deg, slant_range_km
+from repro.orbits.visibility import (
+    elevation_angle_deg,
+    elevation_angle_matrix_deg,
+    slant_range_km,
+)
 
 
 def visible_satellites(
@@ -34,6 +38,42 @@ def visible_satellites(
     visible = np.nonzero(elevations >= min_elevation_deg)[0]
     distances = slant_range_km(ground_position, satellite_positions[visible])
     return visible, np.atleast_1d(distances)
+
+
+def visible_satellites_batch(
+    ground_positions: np.ndarray,
+    satellite_positions: np.ndarray,
+    min_elevations_deg: np.ndarray | float = constants.DEFAULT_MIN_ELEVATION_DEG,
+    elevations_deg: np.ndarray | None = None,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Per-ground-station visible satellites from one stacked matrix operation.
+
+    ``ground_positions`` has shape (G, 3) and ``min_elevations_deg`` is a
+    scalar or a (G,) array of per-station thresholds.  The elevation angles of
+    all G×N pairs are computed in a single batched operation
+    (:func:`~repro.orbits.visibility.elevation_angle_matrix_deg`) instead of
+    one call per ground station; the result list holds, per ground station,
+    the same ``(visible indices, slant ranges km)`` pair — bitwise identical
+    values — that :func:`visible_satellites` would return.
+
+    The constellation snapshot path also needs the raw elevation matrix (it
+    seeds the differential-update visibility bounds), so a caller that
+    already holds it can pass it via ``elevations_deg`` and only the
+    per-station selection runs.
+    """
+    ground_positions = np.asarray(ground_positions, dtype=float).reshape(-1, 3)
+    satellite_positions = np.asarray(satellite_positions, dtype=float)
+    thresholds = np.broadcast_to(
+        np.asarray(min_elevations_deg, dtype=float), (ground_positions.shape[0],)
+    )
+    if elevations_deg is None:
+        elevations_deg = elevation_angle_matrix_deg(ground_positions, satellite_positions)
+    results = []
+    for row, threshold in enumerate(thresholds):
+        visible = np.nonzero(elevations_deg[row] >= threshold)[0]
+        distances = slant_range_km(ground_positions[row], satellite_positions[visible])
+        results.append((visible, np.atleast_1d(distances)))
+    return results
 
 
 def closest_visible_satellite(

@@ -1,0 +1,344 @@
+"""Differential-update equivalence suite.
+
+The differential pipeline must be an observable no-op: N consecutive epochs
+advanced via ``ConstellationCalculation.diff_since`` (and distributed as
+sharded per-host slices through ``Coordinator``/``MachineManager.apply_diff``)
+have to produce byte-identical constellation state — link arrays, delays,
+bandwidths, shortest-path tables, uplink tables, bounding-box active sets —
+and identical suspend/resume behaviour compared to rebuilding every epoch
+from scratch with ``state_at`` and replaying it fully via ``apply_state``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BoundingBox,
+    ComputeParams,
+    Configuration,
+    ConstellationCalculation,
+    ConstellationDatabase,
+    Coordinator,
+    GroundStationConfig,
+    MachineManager,
+    NetworkParams,
+    ShellConfig,
+)
+from repro.hosts import Host
+from repro.orbits import GroundStation, ShellGeometry
+from repro.scenarios import dart_configuration, west_africa_configuration
+from repro.topology import LinkType, NetworkGraph, NodeIndex
+
+
+def _assert_states_identical(full, incremental):
+    """Byte-identical comparison of every observable state component."""
+    g_full, g_inc = full.graph, incremental.graph
+    assert np.array_equal(g_full.node_a, g_inc.node_a)
+    assert np.array_equal(g_full.node_b, g_inc.node_b)
+    assert np.array_equal(g_full.distances_km, g_inc.distances_km)
+    assert np.array_equal(g_full.delays_ms, g_inc.delays_ms)
+    assert np.array_equal(g_full.bandwidths_kbps, g_inc.bandwidths_kbps)
+    assert np.array_equal(g_full.link_type_codes, g_inc.link_type_codes)
+    assert full.gmst_rad == incremental.gmst_rad
+    assert full.uplinks == incremental.uplinks
+    for shell in full.active_satellites:
+        assert np.array_equal(
+            full.active_satellites[shell], incremental.active_satellites[shell]
+        )
+        assert np.array_equal(
+            full.satellite_positions_ecef[shell],
+            incremental.satellite_positions_ecef[shell],
+        )
+    for source in full.node_index.ground_station_indices():
+        assert np.array_equal(
+            full.paths.delays_from(source), incremental.paths.delays_from(source)
+        )
+
+
+def _run_equivalence(config, epochs):
+    reference = ConstellationCalculation(config)
+    incremental = ConstellationCalculation(config)
+    state = incremental.state_at(0.0)
+    _assert_states_identical(reference.state_at(0.0), state)
+    structural_noops = 0
+    for step in range(1, epochs + 1):
+        time_s = step * config.update_interval_s
+        state, diff = incremental.diff_since(state, time_s)
+        assert diff.previous_time_s == (step - 1) * config.update_interval_s
+        assert diff.time_s == time_s
+        structural_noops += diff.topology.is_structural_noop
+        _assert_states_identical(reference.state_at(time_s), state)
+    return structural_noops
+
+
+class TestDiffSinceEquivalence:
+    def test_iridium_ten_epochs(self):
+        config = dart_configuration(buoy_count=6, sink_count=10, duration_s=120.0)
+        _run_equivalence(config, epochs=10)
+
+    def test_starlink_ten_epochs(self):
+        config = west_africa_configuration(duration_s=60.0, shells="two-lowest")
+        _run_equivalence(config, epochs=10)
+
+    def test_large_time_gap_falls_back_gracefully(self):
+        # A big Δt blows up the certified visibility margins so the diff
+        # path degrades to the full evaluation — results must stay identical.
+        config = dart_configuration(buoy_count=4, sink_count=4, duration_s=120.0)
+        calculation = ConstellationCalculation(config)
+        reference = ConstellationCalculation(config)
+        state = calculation.state_at(0.0)
+        state, _ = calculation.diff_since(state, 1800.0)
+        _assert_states_identical(reference.state_at(1800.0), state)
+        # Stepping backwards in time also only widens the margins.
+        state, _ = calculation.diff_since(state, 900.0)
+        _assert_states_identical(reference.state_at(900.0), state)
+
+    def test_rejects_foreign_state(self):
+        config = dart_configuration(buoy_count=4, sink_count=4, duration_s=60.0)
+        state = ConstellationCalculation(config).state_at(0.0)
+        other = ConstellationCalculation(config)
+        with pytest.raises(ValueError):
+            other.diff_since(state, 5.0)
+
+
+class TestTopologyDiffPrimitive:
+    def _graph(self, index, edges):
+        graph = NetworkGraph(index)
+        arrays = np.array(edges, dtype=float).reshape(-1, 4)
+        graph.add_links(
+            arrays[:, 0].astype(np.int64),
+            arrays[:, 1].astype(np.int64),
+            arrays[:, 2],
+            arrays[:, 2],
+            arrays[:, 3],
+            LinkType.ISL,
+        )
+        return graph
+
+    def test_diff_categories(self):
+        index = NodeIndex([6], [])
+        old = self._graph(index, [(0, 1, 1.0, 10.0), (1, 2, 2.0, 10.0), (2, 3, 3.0, 10.0)])
+        new = self._graph(index, [(0, 1, 1.0, 10.0), (1, 2, 2.5, 10.0), (3, 4, 4.0, 20.0)])
+        diff = new.diff_from(old)
+        assert diff.added_endpoints().tolist() == [[3, 4]]
+        assert diff.removed_endpoints().tolist() == [[2, 3]]
+        assert diff.delay_changed_endpoints().tolist() == [[1, 2]]
+        assert diff.delay_changed_values_ms().tolist() == [2.5]
+        assert diff.bandwidth_changed.size == 0
+        assert not diff.is_empty and not diff.is_structural_noop
+        assert diff.change_count == 3
+
+    def test_identical_graphs_diff_empty(self):
+        index = NodeIndex([4], [])
+        edges = [(0, 1, 1.0, 10.0), (1, 2, 2.0, 10.0)]
+        a, b = self._graph(index, edges), self._graph(index, edges)
+        diff = b.diff_from(a)
+        assert diff.is_empty and diff.is_structural_noop
+        assert a.structurally_equal(b) and b.structurally_equal(a)
+
+    def test_from_edge_arrays_shares_structure(self):
+        index = NodeIndex([4], [])
+        base = self._graph(index, [(0, 1, 1.0, 10.0), (1, 2, 2.0, 10.0)])
+        base.delay_matrix()  # build the CSR structure template
+        clone = NetworkGraph.from_edge_arrays(
+            index,
+            base.node_a,
+            base.node_b,
+            base.distances_km,
+            base.delays_ms * 2.0,
+            base.bandwidths_kbps,
+            base.link_type_codes,
+            structure_from=base,
+        )
+        assert clone.structurally_equal(base)
+        assert clone._csr_template is base._csr_template
+        dense = clone.delay_matrix().toarray()
+        assert dense[0, 1] == 2.0 and dense[1, 2] == 4.0
+
+    def test_from_edge_arrays_rejects_duplicates(self):
+        index = NodeIndex([4], [])
+        with pytest.raises(ValueError):
+            NetworkGraph.from_edge_arrays(
+                index,
+                np.array([0, 1]),
+                np.array([1, 0]),
+                np.ones(2),
+                np.ones(2),
+                np.ones(2),
+                np.zeros(2, dtype=np.int8),
+            )
+
+
+def _iridium_box_config(update_interval_s, duration_s):
+    return Configuration(
+        shells=(
+            ShellConfig(
+                name="iridium",
+                geometry=ShellGeometry(6, 11, 780.0, 90.0, 180.0),
+                network=NetworkParams(min_elevation_deg=8.2),
+                compute=ComputeParams(vcpu_count=1, memory_mib=1024),
+            ),
+        ),
+        ground_stations=(
+            GroundStationConfig(
+                station=GroundStation("hawaii", 21.3, -157.9),
+                compute=ComputeParams(vcpu_count=8, memory_mib=8192),
+            ),
+        ),
+        bounding_box=BoundingBox(-35.0, 35.0, -180.0, -100.0),
+        update_interval_s=update_interval_s,
+        duration_s=duration_s,
+    )
+
+
+def _coordinator(config, incremental, host_count=3):
+    calculation = ConstellationCalculation(config)
+    managers = [
+        MachineManager(Host(index=i, allow_memory_overcommit=True))
+        for i in range(host_count)
+    ]
+    coordinator = Coordinator(
+        config,
+        calculation,
+        ConstellationDatabase(keyframe_interval=5),
+        managers,
+        incremental=incremental,
+    )
+    coordinator.create_ground_stations(0.0)
+    return coordinator, managers
+
+
+class TestShardedCoordinatorEquivalence:
+    def test_suspend_resume_and_machine_states_match_full_replay(self):
+        # Long enough (two Iridium orbits) that satellites leave the box,
+        # get suspended, come back and are resumed again.
+        config = _iridium_box_config(update_interval_s=60.0, duration_s=12000.0)
+        incremental, managers_inc = _coordinator(config, incremental=True)
+        full, managers_full = _coordinator(config, incremental=False)
+        for step in range(201):
+            time_s = step * 60.0
+            state_inc = incremental.update(time_s)
+            state_full = full.update(time_s)
+            for shell in state_full.active_satellites:
+                assert np.array_equal(
+                    state_full.active_satellites[shell],
+                    state_inc.active_satellites[shell],
+                )
+        counters_inc = sorted(
+            (manager.suspension_count, manager.resume_count)
+            for manager in managers_inc
+        )
+        counters_full = sorted(
+            (manager.suspension_count, manager.resume_count)
+            for manager in managers_full
+        )
+        assert counters_inc == counters_full
+        assert sum(suspended for suspended, _ in counters_inc) > 0
+        assert sum(resumed for _, resumed in counters_inc) > 0
+        states_inc = {
+            name: manager.host.machines[name].state
+            for manager in managers_inc
+            for name in manager.host.machines
+        }
+        states_full = {
+            name: manager.host.machines[name].state
+            for manager in managers_full
+            for name in manager.host.machines
+        }
+        assert states_inc == states_full
+        assert incremental.stats.diff_updates == 200
+        assert incremental.stats.full_updates == 1
+
+    def test_slices_cover_the_full_change_set(self):
+        config = _iridium_box_config(update_interval_s=60.0, duration_s=600.0)
+        coordinator, managers = _coordinator(config, incremental=True)
+        coordinator.update(0.0)
+        state = coordinator.update(60.0)
+        diff = coordinator.database.latest_diff
+        assert diff is not None
+        slices = [manager.last_slice for manager in managers]
+        assert all(state_slice is not None for state_slice in slices)
+        # Each changed link involving a created machine appears in at least
+        # one host's slice; every slice row genuinely touches that host.
+        owned = {
+            node
+            for state_slice in slices
+            for node in state_slice.machine_nodes.tolist()
+        }
+        changed = diff.topology.delay_changed_endpoints()
+        expected = {
+            (int(a), int(b))
+            for a, b in changed
+            if int(a) in owned or int(b) in owned
+        }
+        covered = set()
+        for state_slice in slices:
+            host_nodes = set(state_slice.machine_nodes.tolist())
+            for a, b in state_slice.links_delay_changed.tolist():
+                assert a in host_nodes or b in host_nodes
+                covered.add((a, b))
+        assert covered == expected
+        # The per-ground-station delay vectors match the shortest-path table.
+        for state_slice in slices:
+            for name, delays in state_slice.gst_delays_ms.items():
+                source = state.node_index.ground_station(name)
+                reference = state.paths.delays_from(source)[state_slice.machine_nodes]
+                assert np.array_equal(delays, reference)
+            for name, delays in state_slice.uplink_delays_ms.items():
+                source = state.node_index.ground_station(name)
+                for position, node in enumerate(state_slice.machine_nodes.tolist()):
+                    link = state.graph.link_between(source, node)
+                    if link is None:
+                        assert delays[position] == np.inf
+                    else:
+                        assert delays[position] == link.delay_ms
+
+    def test_dirty_machines_reconciled_after_fault_injection(self):
+        config = _iridium_box_config(update_interval_s=60.0, duration_s=600.0)
+        incremental, managers_inc = _coordinator(config, incremental=True)
+        full, managers_full = _coordinator(config, incremental=False)
+        for coordinator in (incremental, full):
+            coordinator.update(0.0)
+        # Reboot a suspended (out-of-box) satellite: it comes back RUNNING
+        # even though it is outside the box, and the next update must
+        # suspend it again on both paths.
+        state = incremental.database.state
+        outside = int(np.nonzero(~state.active_satellites[0])[0][0])
+        for coordinator in (incremental, full):
+            victim = coordinator.calculation.satellite(0, outside)
+            if not coordinator.has_machine(victim):
+                coordinator.create_machine(victim, 10.0)
+            coordinator.manager_for(victim).reboot_machine(victim, 20.0)
+        incremental.update(60.0)
+        full.update(60.0)
+        for coordinator in (incremental, full):
+            victim = coordinator.calculation.satellite(0, outside)
+            machine = coordinator.manager_for(victim).machine(victim)
+            assert machine.state.value == "suspended"
+
+
+class TestDatabaseDiffHistory:
+    def test_keyframes_and_diff_chain(self):
+        config = dart_configuration(buoy_count=4, sink_count=4, duration_s=600.0)
+        calculation = ConstellationCalculation(config)
+        database = ConstellationDatabase(keyframe_interval=4, retained_keyframes=2)
+        state = calculation.state_at(0.0)
+        database.set_state(state)  # epoch 1: keyframe (no diff)
+        for step in range(1, 12):
+            state, diff = calculation.diff_since(state, step * 5.0)
+            database.set_state(state, diff=diff)
+        assert database.epoch == 12
+        # Keyframes at epochs 1, 5, 9 → the last two are retained.
+        assert database.keyframe_epochs() == [5, 9]
+        chain = database.diffs_since(5)
+        assert len(chain) == 7
+        assert [d.time_s for d in chain] == [25.0, 30.0, 35.0, 40.0, 45.0, 50.0, 55.0]
+        with pytest.raises(KeyError):
+            database.diffs_since(3)  # pruned history
+        with pytest.raises(KeyError):
+            database.diffs_since(99)  # future epoch
+        assert database.latest_diff is chain[-1]
+        assert database.keyframe_state(9).time_s == 40.0
+        info = database.constellation_info()
+        assert info["keyframe_epochs"] == [5, 9]
+        assert info["last_diff"] == chain[-1].summary()

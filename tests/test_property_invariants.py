@@ -182,6 +182,74 @@ class TestNetemProperties:
         assert outcomes_a == outcomes_b
 
 
+class TestLatencyStatisticsProperties:
+    """Float-accumulation hazards in the figure aggregations (metrics.py).
+
+    ``np.mean``/``np.percentile``/``np.median`` interpolation can round a
+    hair outside the interval spanned by the samples; all statistics must
+    stay clamped to the sample extremes.
+    """
+
+    @staticmethod
+    def _series(latencies, times=None):
+        from repro.analysis.metrics import LatencySeries
+
+        series = LatencySeries("prop")
+        for position, latency in enumerate(latencies):
+            time_s = times[position] if times is not None else float(position)
+            series.add(time_s, latency)
+        return series
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        latencies=st.lists(
+            st.floats(min_value=0.0, max_value=1e308, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        ),
+        q=st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_percentile_and_mean_within_sample_extremes(self, latencies, q):
+        series = self._series(latencies)
+        low, high = min(latencies), max(latencies)
+        assert low <= series.mean() <= high
+        assert low <= series.percentile(q) <= high
+        assert low <= series.median() <= high
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        latencies=st.lists(
+            st.floats(min_value=0.0, max_value=1e308, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        ),
+        window=st.floats(min_value=0.1, max_value=10.0),
+    )
+    def test_rolling_median_within_global_extremes(self, latencies, window):
+        series = self._series(latencies)
+        centres, medians = series.rolling_median(window_s=window)
+        assert len(centres) == len(medians)
+        assert medians.size > 0
+        low, high = min(latencies), max(latencies)
+        assert np.all(medians >= low)
+        assert np.all(medians <= high)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        latencies=st.lists(
+            st.floats(min_value=0.0, max_value=1e308, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        ),
+    )
+    def test_cdf_fractions_monotone_and_bounded(self, latencies):
+        series = self._series(latencies)
+        values, fractions = series.cdf()
+        assert np.all(np.diff(values) >= 0)
+        assert np.all((fractions > 0) & (fractions <= 1.0))
+        assert fractions[-1] == pytest.approx(1.0)
+
+
 class TestConfigurationProperties:
     @settings(max_examples=30, deadline=None)
     @given(

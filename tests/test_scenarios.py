@@ -1,15 +1,23 @@
 """Unit tests for the paper's scenario configurations."""
 
+import numpy as np
 import pytest
 
-from repro.core import validate_configuration
+from repro.core import ConstellationCalculation, validate_configuration
 from repro.scenarios import (
     CLIENT_LOCATIONS,
+    MIXED_GROUND_STATIONS,
     PACIFIC_TSUNAMI_WARNING_CENTER,
     dart_configuration,
     generate_buoys,
     generate_sinks,
     iridium_shell,
+    kuiper_first_shell,
+    kuiper_shells,
+    kuiper_total_satellites,
+    mixed_operator_configuration,
+    oneweb_shell,
+    oneweb_total_satellites,
     starlink_first_shell,
     starlink_phase1_shells,
     starlink_phase1_total_satellites,
@@ -54,6 +62,77 @@ class TestIridium:
         shell = iridium_shell()
         assert shell.network.uplink_bandwidth_kbps == 88.0
         assert shell.network.isl_bandwidth_kbps == 100_000.0
+
+
+class TestKuiper:
+    def test_shell_totals(self):
+        shells = kuiper_shells()
+        assert len(shells) == 3
+        totals = [shell.geometry.total_satellites for shell in shells]
+        assert totals == [1156, 1296, 784]
+        assert kuiper_total_satellites() == 3236
+
+    def test_first_shell_geometry(self):
+        shell = kuiper_first_shell()
+        assert shell.geometry.planes == 34
+        assert shell.geometry.satellites_per_plane == 34
+        assert shell.geometry.altitude_km == 630.0
+        assert shell.geometry.arc_of_ascending_nodes_deg == 360.0
+        assert not shell.geometry.is_polar_star
+
+    def test_min_elevation_stricter_than_starlink(self):
+        assert kuiper_shells()[0].network.min_elevation_deg == 35.0
+        assert starlink_first_shell().network.min_elevation_deg == 25.0
+
+    def test_limit_parameter(self):
+        assert len(kuiper_shells(limit=2)) == 2
+
+
+class TestOneWeb:
+    def test_geometry_is_near_polar_walker_star(self):
+        shell = oneweb_shell()
+        assert shell.geometry.total_satellites == 648
+        assert oneweb_total_satellites() == 648
+        assert shell.geometry.planes == 18
+        assert shell.geometry.altitude_km == 1200.0
+        assert shell.geometry.arc_of_ascending_nodes_deg == 180.0
+        assert shell.geometry.is_polar_star
+
+    def test_seam_removes_inter_plane_links(self):
+        # A Walker-star +GRID drops the inter-plane links across the seam:
+        # 2*N - satellites_per_plane links instead of the seamless 2*N.
+        from repro.topology.isl import grid_plus_isl_pairs
+
+        geometry = oneweb_shell().geometry
+        pairs = grid_plus_isl_pairs(geometry)
+        assert len(pairs) == 2 * 648 - 36
+
+
+class TestMixedOperator:
+    def test_composition(self):
+        config = mixed_operator_configuration(duration_s=60.0)
+        names = [shell.name for shell in config.shells]
+        assert names == ["starlink-0", "kuiper-0", "oneweb"]
+        assert config.total_satellites == 1584 + 1156 + 648
+        assert set(config.ground_station_names) == set(MIXED_GROUND_STATIONS)
+
+    def test_full_kuiper_option(self):
+        config = mixed_operator_configuration(duration_s=60.0, kuiper_shell_limit=None)
+        assert config.total_satellites == 1584 + 3236 + 648
+
+    def test_multi_shell_uplink_selection(self):
+        # The polar station only sees the near-polar OneWeb shell; the
+        # equatorial station must reach all three operators' shells.
+        config = mixed_operator_configuration(duration_s=60.0)
+        state = ConstellationCalculation(config).state_at(0.0)
+        polar_shells = {u.shell for u in state.uplinks_of("longyearbyen")}
+        equatorial_shells = {u.shell for u in state.uplinks_of("quito")}
+        assert polar_shells == {2}
+        assert equatorial_shells == {0, 1, 2}
+
+    def test_validates(self):
+        config = mixed_operator_configuration(duration_s=60.0)
+        assert isinstance(validate_configuration(config), list)
 
 
 class TestWestAfrica:
