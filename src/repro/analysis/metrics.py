@@ -74,8 +74,17 @@ class LatencySeries:
             return float(np.clip(np.mean(values), values.min(), values.max()))
 
     def median(self) -> float:
-        """Median latency [ms]."""
-        return float(np.median(self.values())) if self._samples else float("nan")
+        """Median latency [ms], clamped to the sample extremes.
+
+        For even sample counts ``np.median`` averages the two middle order
+        statistics, which can overflow to ``inf`` near the float maximum;
+        clamping keeps the invariants exact, mirroring :meth:`mean`.
+        """
+        if not self._samples:
+            return float("nan")
+        values = self.values()
+        with np.errstate(over="ignore"):
+            return float(np.clip(np.median(values), values.min(), values.max()))
 
     def std(self) -> float:
         """Standard deviation of latency [ms]."""

@@ -13,6 +13,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.orbits import constants
+from repro.orbits.coordinates import (
+    GEOCENTRIC_LATITUDE_MARGIN_DEG,
+    WGS84_EQUATORIAL_RADIUS_KM,
+    ecef_to_geocentric_latlon,
+    ecef_to_geodetic,
+)
 
 
 @dataclass(frozen=True)
@@ -59,6 +65,52 @@ class BoundingBox:
         result = lat_ok & lon_ok
         if np.ndim(result) == 0:
             return bool(result)
+        return result
+
+    def contains_ecef(self, position_ecef) -> np.ndarray:
+        """Whether ECEF points (km) lie inside the box — the cheap path.
+
+        Produces decisions identical to
+        ``contains(*ecef_to_geodetic(position_ecef)[:2])`` without paying
+        the iterative geodetic conversion for every point: the longitude
+        test is exact either way (both conversions share the same
+        ``arctan2``), and the latitude test uses the geocentric angle,
+        whose deviation from the geodetic latitude is certified below
+        :data:`~repro.orbits.coordinates.GEOCENTRIC_LATITUDE_MARGIN_DEG`
+        for points at or above the surface.  Only points within the
+        margin band of a latitude edge — or below the surface radius,
+        where the bound is void — fall back to the exact conversion,
+        element for element bitwise identical to the full one.
+        """
+        positions = np.asarray(position_ecef, dtype=float)
+        scalar = positions.ndim == 1
+        positions = np.atleast_2d(positions)
+        geocentric_lat, longitude = ecef_to_geocentric_latlon(positions)
+        if self.wraps_antimeridian:
+            lon_ok = (longitude >= self.lon_min) | (longitude <= self.lon_max)
+        else:
+            lon_ok = (longitude >= self.lon_min) & (longitude <= self.lon_max)
+        margin = GEOCENTRIC_LATITUDE_MARGIN_DEG
+        lat_ok = (geocentric_lat >= self.lat_min + margin) & (
+            geocentric_lat <= self.lat_max - margin
+        )
+        certain = lat_ok | (
+            (geocentric_lat < self.lat_min - margin)
+            | (geocentric_lat > self.lat_max + margin)
+        )
+        # The margin is only certified at or above the surface: points that
+        # could lie below the ellipsoid take the exact conversion instead.
+        radius_sq = np.add.reduce(positions * positions, axis=-1)
+        certain &= radius_sq >= WGS84_EQUATORIAL_RADIUS_KM * WGS84_EQUATORIAL_RADIUS_KM
+        uncertain = ~certain
+        if np.any(uncertain):
+            exact_lat, _, _ = ecef_to_geodetic(positions[uncertain])
+            lat_ok[uncertain] = (exact_lat >= self.lat_min) & (
+                exact_lat <= self.lat_max
+            )
+        result = lat_ok & lon_ok
+        if scalar:
+            return bool(result[0])
         return result
 
     def area_fraction(self) -> float:

@@ -34,11 +34,26 @@ produce are byte-identical; the diff path additionally
   :class:`~repro.topology.graph.TopologyDiff` edge index arrays plus the
   per-shell bounding-box ``activated``/``deactivated`` satellite ids —
   which the coordinator shards into per-host slices instead of replaying
-  the full state to every machine manager.
+  the full state to every machine manager, and
+* advances the shortest-path tables through the incremental
+  :class:`~repro.topology.paths.PathEngine` instead of re-solving from
+  scratch: the previous epoch's distance/predecessor trees are carried
+  across the diff (reused verbatim on empty diffs, repaired where the
+  diff touched them, re-solved per source only where routes genuinely
+  rewired), including any lazily created satellite-to-satellite tables.
+  Engine output is byte-identical to a cold solve by construction.
+
+The bounding-box activity test runs on the certified geocentric-latitude
+bound (:meth:`~repro.core.bounding_box.BoundingBox.contains_ecef`), so the
+full per-shell geodetic conversion is only computed for satellites inside
+the margin band of a box latitude edge; the exact sub-satellite
+latitudes/longitudes a consumer may still ask for are derived lazily per
+shell and cached on the state.
 """
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 from typing import Iterator, Literal, Optional, Sequence
 
@@ -53,7 +68,14 @@ from repro.orbits.visibility import (
     isl_closest_approach_km,
     slant_range_km,
 )
-from repro.topology import LinkType, NetworkGraph, NodeIndex, ShortestPaths, TopologyDiff
+from repro.topology import (
+    LinkType,
+    NetworkGraph,
+    NodeIndex,
+    PathEngine,
+    ShortestPaths,
+    TopologyDiff,
+)
 from repro.topology.graph import _CODE_BY_LINK_TYPE
 from repro.topology.isl import grid_plus_isl_pairs
 from repro.topology.linkparams import link_delay_ms
@@ -179,12 +201,102 @@ class _EpochArrays:
 
     gmst: float
     satellite_positions: dict[int, np.ndarray]
-    latitudes: dict[int, np.ndarray]
-    longitudes: dict[int, np.ndarray]
     active: dict[int, np.ndarray]
     isl_chunks: list[tuple]
     uplink_chunks: list[tuple]
     hints: Optional[_UpdateHints] = None
+
+
+class _SubSatellitePoints:
+    """Lazily computed per-shell sub-satellite geodetic coordinates.
+
+    The epoch hot path only needs latitudes/longitudes where the
+    bounding-box verdict is genuinely uncertain
+    (:meth:`~repro.core.bounding_box.BoundingBox.contains_ecef`), so the
+    full per-shell ``ecef_to_geodetic`` conversion — one of the largest
+    remaining terms of ``_epoch_arrays`` — is deferred until a consumer
+    (info API, animation, experiments) actually asks for it, then cached.
+    The values are identical to an eager conversion: same function over
+    the same position arrays.
+    """
+
+    def __init__(self, positions: dict[int, np.ndarray]):
+        self._positions = positions
+        self._cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    def geodetic(self, shell: int) -> tuple[np.ndarray, np.ndarray]:
+        """Cached (latitudes, longitudes) [deg] of one shell's satellites."""
+        if shell not in self._cache:
+            lat, lon, _ = ecef_to_geodetic(self._positions[shell])
+            self._cache[shell] = (lat, lon)
+        return self._cache[shell]
+
+    def view(self, component: int) -> "_GeodeticView":
+        """Dict-like view of one coordinate (0 = latitude, 1 = longitude)."""
+        return _GeodeticView(self, component)
+
+
+class _GeodeticView(Mapping):
+    """Read-only per-shell mapping over one lazily computed coordinate."""
+
+    def __init__(self, points: _SubSatellitePoints, component: int):
+        self._points = points
+        self._component = component
+
+    def __getitem__(self, shell: int) -> np.ndarray:
+        return self._points.geodetic(shell)[self._component]
+
+    def __iter__(self):
+        return iter(self._points._positions)
+
+    def __len__(self) -> int:
+        return len(self._points._positions)
+
+
+class _LazyUplinkTable(Mapping):
+    """Uplink table whose :class:`UplinkInfo` lists materialise on first use.
+
+    Building the per-ground-station object lists costs a Python loop over
+    every visible pair; most epochs nobody reads them (the coordinator's
+    slicing works on the raw arrays), so construction is deferred until
+    any mapping operation touches the table.  Deliberately a
+    :class:`~collections.abc.Mapping` rather than a ``dict`` subclass:
+    CPython's concrete-dict C paths (``dict(x)``, ``{**x}``, ``x.copy()``)
+    bypass overridden methods on subclasses and would observe an empty
+    table, whereas with a Mapping they go through ``__iter__`` /
+    ``__getitem__`` and materialise correctly.
+    """
+
+    def __init__(self, builder):
+        self._table: dict[str, list[UplinkInfo]] = {}
+        self._builder = builder
+
+    def _materialize(self) -> dict:
+        if self._builder is not None:
+            builder, self._builder = self._builder, None
+            self._table = builder()
+        return self._table
+
+    def __getitem__(self, key):
+        return self._materialize()[key]
+
+    def __iter__(self):
+        return iter(self._materialize())
+
+    def __len__(self):
+        return len(self._materialize())
+
+    def __eq__(self, other):
+        if isinstance(other, _LazyUplinkTable):
+            return self._materialize() == other._materialize()
+        if isinstance(other, dict):
+            return self._materialize() == other
+        return NotImplemented
+
+    __hash__ = None
+
+    def __repr__(self):
+        return repr(self._materialize())
 
 
 @dataclass
@@ -197,13 +309,14 @@ class ConstellationState:
     graph: NetworkGraph
     paths: ShortestPaths
     satellite_positions_ecef: dict[int, np.ndarray]
-    satellite_latitudes: dict[int, np.ndarray]
-    satellite_longitudes: dict[int, np.ndarray]
+    satellite_latitudes: Mapping
+    satellite_longitudes: Mapping
     active_satellites: dict[int, np.ndarray]
     ground_positions_ecef: dict[str, np.ndarray]
-    uplinks: dict[str, list[UplinkInfo]] = field(default_factory=dict)
+    uplinks: Mapping = field(default_factory=dict)
     _extra_paths: dict[int, ShortestPaths] = field(default_factory=dict, repr=False)
     _update_hints: Optional[_UpdateHints] = field(default=None, repr=False, compare=False)
+    _path_engine: Optional[PathEngine] = field(default=None, repr=False, compare=False)
 
     # -- machine-level queries -------------------------------------------
 
@@ -213,14 +326,21 @@ class ConstellationState:
         The main table covers the configured path sources (by default the
         ground stations).  Queries between two satellites — e.g. a state
         migration between satellite servers — fall back to a lazily computed
-        and cached single-source Dijkstra run.
+        and cached single-source table.  The tables are engine-managed:
+        created through the constellation's :class:`PathEngine` (so solver
+        work is counted) and carried to the next epoch by ``diff_since``,
+        where they are repaired incrementally instead of re-solved.
         """
         if self.paths.has_source(node_a):
             return self.paths, node_a, node_b
         if self.paths.has_source(node_b):
             return self.paths, node_b, node_a
         if node_a not in self._extra_paths:
-            self._extra_paths[node_a] = ShortestPaths(self.graph, sources=[node_a])
+            if self._path_engine is not None:
+                table = self._path_engine.solve(self.graph, sources=[node_a])
+            else:
+                table = ShortestPaths(self.graph, sources=[node_a])
+            self._extra_paths[node_a] = table
         return self._extra_paths[node_a], node_a, node_b
 
     def node_for(self, machine: MachineId) -> int:
@@ -292,9 +412,23 @@ class ConstellationCalculation:
         self,
         config: Configuration,
         path_sources: Literal["ground_stations", "all"] = "ground_stations",
+        incremental_paths: bool = True,
+        cheap_geodetic_box: bool = True,
+        eager_uplinks: bool = False,
     ):
         self.config = config
         self.path_sources = path_sources
+        # ``incremental_paths`` routes ``diff_since`` epochs through the
+        # incremental shortest-path engine; ``cheap_geodetic_box`` enables
+        # the certified geocentric bound in the bounding-box test;
+        # ``eager_uplinks`` builds the per-station uplink tables during the
+        # update instead of on first access.  The non-default combinations
+        # exist to measure the PR 2 baseline behaviour in the benchmarks
+        # (see :meth:`pr2_baseline`), with byte-identical results either
+        # way.
+        self.incremental_paths = incremental_paths
+        self.cheap_geodetic_box = cheap_geodetic_box
+        self.eager_uplinks = eager_uplinks
         self.shells: list[Shell] = [
             Shell(
                 shell_config.geometry,
@@ -307,6 +441,11 @@ class ConstellationCalculation:
             shell_sizes=config.shell_sizes,
             ground_station_names=config.ground_station_names,
         )
+        # One engine per calculation: it owns the solver-call counters and
+        # advances the main (and any extra single-source) tables across
+        # epochs; the tables themselves live on the states, so database
+        # keyframes stay valid and any retained state can seed a replay.
+        self.path_engine = PathEngine(sources=self._path_sources())
         # Static structures reused across consecutive snapshots: the node
         # index, per-shell +GRID ISL pair arrays (both in-shell and as flat
         # global node indices, split into contiguous endpoint buffers) and
@@ -384,6 +523,27 @@ class ConstellationCalculation:
             min_range_km = max(geometry.altitude_km - 20.0, 1.0)
             self._elevation_rate_deg_s.append(float(np.degrees(speed / min_range_km)))
 
+    @classmethod
+    def pr2_baseline(
+        cls,
+        config: Configuration,
+        path_sources: Literal["ground_stations", "all"] = "ground_stations",
+    ) -> "ConstellationCalculation":
+        """A calculation emulating the PR 2 update-loop code paths.
+
+        Cold per-epoch shortest-path solves, the full geodetic conversion
+        in the bounding-box test and eagerly built uplink tables — the
+        baseline the benchmarks measure the incremental engine against.
+        Results are byte-identical to the default configuration.
+        """
+        return cls(
+            config,
+            path_sources=path_sources,
+            incremental_paths=False,
+            cheap_geodetic_box=False,
+            eager_uplinks=True,
+        )
+
     # -- machine identities -------------------------------------------------
 
     def satellite(self, shell: int, identifier: int) -> MachineId:
@@ -429,8 +589,6 @@ class ConstellationCalculation:
         dt = abs(time_s - hints.time_s) if hints is not None else 0.0
 
         satellite_positions: dict[int, np.ndarray] = {}
-        latitudes: dict[int, np.ndarray] = {}
-        longitudes: dict[int, np.ndarray] = {}
         active: dict[int, np.ndarray] = {}
         isl_chunks: list[tuple] = []
         los_lower: list[np.ndarray] = []
@@ -440,12 +598,17 @@ class ConstellationCalculation:
             shell_config = config.shells[shell_index]
             positions_ecef = eci_to_ecef(shell.positions_eci(time_s), gmst)
             satellite_positions[shell_index] = positions_ecef
-            lat, lon, _ = ecef_to_geodetic(positions_ecef)
-            latitudes[shell_index] = lat
-            longitudes[shell_index] = lon
             if config.bounding_box is None:
                 active[shell_index] = np.ones(len(shell), dtype=bool)
+            elif self.cheap_geodetic_box:
+                # Certified geocentric latitude bound: the full geodetic
+                # conversion runs only for satellites within the margin
+                # band of a box latitude edge — identical verdicts.
+                active[shell_index] = np.asarray(
+                    config.bounding_box.contains_ecef(positions_ecef), dtype=bool
+                )
             else:
+                lat, lon, _ = ecef_to_geodetic(positions_ecef)
                 active[shell_index] = np.asarray(
                     config.bounding_box.contains(lat, lon), dtype=bool
                 )
@@ -562,8 +725,6 @@ class ConstellationCalculation:
         return _EpochArrays(
             gmst=gmst,
             satellite_positions=satellite_positions,
-            latitudes=latitudes,
-            longitudes=longitudes,
             active=active,
             isl_chunks=isl_chunks,
             uplink_chunks=uplink_chunks,
@@ -575,18 +736,24 @@ class ConstellationCalculation:
             ),
         )
 
-    def _uplink_table(self, epoch: _EpochArrays) -> dict[str, list[UplinkInfo]]:
-        uplinks: dict[str, list[UplinkInfo]] = {
-            name: [] for name in self.config.ground_station_names
-        }
-        for name, shell_index, _, visible, _, distances, delays, _ in epoch.uplink_chunks:
-            uplinks[name].extend(
-                UplinkInfo(shell_index, satellite, distance, delay)
-                for satellite, distance, delay in zip(
-                    visible.tolist(), distances.tolist(), delays.tolist()
+    def _uplink_table(self, epoch: _EpochArrays) -> "_LazyUplinkTable":
+        def build() -> dict[str, list[UplinkInfo]]:
+            uplinks: dict[str, list[UplinkInfo]] = {
+                name: [] for name in self.config.ground_station_names
+            }
+            for name, shell_index, _, visible, _, distances, delays, _ in epoch.uplink_chunks:
+                uplinks[name].extend(
+                    UplinkInfo(shell_index, satellite, distance, delay)
+                    for satellite, distance, delay in zip(
+                        visible.tolist(), distances.tolist(), delays.tolist()
+                    )
                 )
-            )
-        return uplinks
+            return uplinks
+
+        return _LazyUplinkTable(build)
+
+    #: Cap on lazily created single-source tables carried between epochs.
+    MAX_CARRIED_EXTRA_TABLES = 32
 
     def _state_from_epoch(
         self,
@@ -594,8 +761,35 @@ class ConstellationCalculation:
         epoch: _EpochArrays,
         graph: NetworkGraph,
         path_method: Literal["dijkstra", "floyd-warshall"],
+        previous: Optional[ConstellationState] = None,
+        topology: Optional[TopologyDiff] = None,
     ) -> ConstellationState:
-        paths = ShortestPaths(graph, sources=self._path_sources(), method=path_method)
+        extra_paths: dict[int, ShortestPaths] = {}
+        if path_method != "dijkstra":
+            # The engine only advances Dijkstra tables; other methods stay
+            # on the cold per-epoch solve.
+            paths = ShortestPaths(graph, sources=self._path_sources(), method=path_method)
+            engine = None
+        else:
+            engine = self.path_engine
+            if (
+                self.incremental_paths
+                and previous is not None
+                and topology is not None
+                and previous.paths.method == "dijkstra"
+            ):
+                paths = engine.advance(previous.paths, graph, topology)
+                # Satellite-to-satellite query tables ride the same repair
+                # pipeline instead of being re-solved from scratch.
+                carried = list(previous._extra_paths.items())
+                for node, table in carried[-self.MAX_CARRIED_EXTRA_TABLES:]:
+                    extra_paths[node] = engine.advance(table, graph, topology)
+            else:
+                paths = engine.solve(graph)
+        points = _SubSatellitePoints(epoch.satellite_positions)
+        uplinks = self._uplink_table(epoch)
+        if self.eager_uplinks:
+            uplinks._materialize()
         return ConstellationState(
             time_s=time_s,
             gmst_rad=epoch.gmst,
@@ -603,12 +797,14 @@ class ConstellationCalculation:
             graph=graph,
             paths=paths,
             satellite_positions_ecef=epoch.satellite_positions,
-            satellite_latitudes=epoch.latitudes,
-            satellite_longitudes=epoch.longitudes,
+            satellite_latitudes=points.view(0),
+            satellite_longitudes=points.view(1),
             active_satellites=epoch.active,
             ground_positions_ecef=dict(self._ground_positions),
-            uplinks=self._uplink_table(epoch),
+            uplinks=uplinks,
+            _extra_paths=extra_paths,
             _update_hints=epoch.hints,
+            _path_engine=engine,
         )
 
     def state_at(
@@ -704,7 +900,9 @@ class ConstellationCalculation:
             activated[shell_index] = np.nonzero(now_active & ~was_active)[0]
             deactivated[shell_index] = np.nonzero(~now_active & was_active)[0]
 
-        state = self._state_from_epoch(time_s, epoch, graph, path_method)
+        state = self._state_from_epoch(
+            time_s, epoch, graph, path_method, previous=previous, topology=topology
+        )
         diff = ConstellationDiff(
             previous_time_s=previous.time_s,
             time_s=time_s,

@@ -27,6 +27,15 @@ parallel), and the virtual network consumes the same diff centrally.  The
 distribution policy (who receives what) thus lives entirely in this layer;
 the update producer is oblivious to it, in the spirit of RAFDA's separation
 of application logic from distribution concerns.
+
+The same separation applies one layer down: since PR 3 the shortest-path
+tables behind the per-ground-station delay vectors come from the
+incremental :class:`~repro.topology.paths.PathEngine`, which decides per
+epoch how much solver work a :class:`TopologyDiff` actually requires
+(none / repair / rebuild).  The coordinator is oblivious to that policy
+too — ``delays_from`` slices engine-repaired rows into
+:class:`~repro.core.machine_manager.HostStateSlice` unchanged, because the
+engine's tables are byte-identical to cold solves.
 """
 
 from __future__ import annotations

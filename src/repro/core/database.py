@@ -147,6 +147,69 @@ class ConstellationDatabase:
         self._rule_cache[key] = rule
         return rule
 
+    def diff_history_info(self, since_epoch: int) -> dict:
+        """Wire-format diff history: "what changed since ``since_epoch``?".
+
+        Served over the HTTP info API so emulated machines can poll the
+        change stream instead of re-reading the full constellation.  The
+        format is compact and JSON-native: per epoch one record with the
+        change counters and flat ``[node_a, node_b, ...]`` rows —
+        ``links_added`` carries ``[a, b, delay_ms, bandwidth_kbps]``,
+        ``links_removed`` ``[a, b]``, ``delay_changed`` ``[a, b,
+        delay_ms]``, ``bandwidth_changed`` ``[a, b, bandwidth_kbps]`` —
+        plus the per-shell ``activated``/``deactivated`` satellite ids.
+        Raises ``KeyError`` (→ 404 with a keyframe hint) when the pruned
+        history no longer reaches back to ``since_epoch``.
+        """
+        chain = self.diffs_since(since_epoch)
+        records = []
+        epoch = since_epoch
+        for diff in chain:
+            epoch += 1
+            topology = diff.topology
+            def _rows(endpoints: np.ndarray, *values: np.ndarray) -> list:
+                # Zip integer endpoint pairs with float value columns so the
+                # JSON keeps node ids integral (column_stack would upcast
+                # everything to float).
+                columns = [value.tolist() for value in values]
+                return [
+                    [a, b, *row_values]
+                    for (a, b), *row_values in zip(endpoints.tolist(), *columns)
+                ]
+
+            records.append({
+                "epoch": epoch,
+                "time_s": diff.time_s,
+                "previous_time_s": diff.previous_time_s,
+                "summary": diff.summary(),
+                "links_added": _rows(
+                    topology.added_endpoints(),
+                    topology.current.delays_ms[topology.links_added],
+                    topology.current.bandwidths_kbps[topology.links_added],
+                ),
+                "links_removed": topology.removed_endpoints().tolist(),
+                "delay_changed": _rows(
+                    topology.delay_changed_endpoints(),
+                    topology.delay_changed_values_ms(),
+                ),
+                "bandwidth_changed": _rows(
+                    topology.bandwidth_changed_endpoints(),
+                    topology.bandwidth_changed_values_kbps(),
+                ),
+                "activated": {
+                    str(shell): ids.tolist() for shell, ids in diff.activated.items()
+                },
+                "deactivated": {
+                    str(shell): ids.tolist() for shell, ids in diff.deactivated.items()
+                },
+            })
+        return {
+            "since_epoch": since_epoch,
+            "epoch": self.epoch,
+            "keyframe_epochs": self.keyframe_epochs(),
+            "diffs": records,
+        }
+
     # -- info-API queries ----------------------------------------------------
 
     def constellation_info(self) -> dict:

@@ -8,6 +8,13 @@ use it instead of implementing their own model of satellite movement.
 ``InfoAPI`` implements the routing and JSON responses; ``HTTPInfoServer``
 exposes the same API over a real local HTTP socket (standard library only)
 for applications that expect to speak HTTP.
+
+Diff-aware polling: ``/diffs/<epoch>`` serves the database's keyframe/diff
+history as a compact JSON change stream ("what changed since epoch N"), so
+emulated machines can follow the constellation incrementally instead of
+re-reading the full ``/info`` state; when the rolling history has been
+pruned past the requested epoch the route 404s with the retained keyframe
+epochs to resynchronise from.
 """
 
 from __future__ import annotations
@@ -69,6 +76,8 @@ class InfoAPI:
                 if machine.is_ground_station:
                     return self.database.ground_station_info(machine.name)
                 return self.database.satellite_info(machine.shell, machine.identifier)
+            if parts[0] == "diffs" and len(parts) == 2:
+                return self.database.diff_history_info(int(parts[1]))
             if parts[0] == "path" and len(parts) == 3:
                 source = self._machine_from_name(parts[1])
                 destination = self._machine_from_name(parts[2])

@@ -11,7 +11,9 @@ stations, and visibility computations (elevation, line of sight).
 from repro.orbits import constants
 from repro.orbits.time_utils import Epoch, gmst_rad, julian_date
 from repro.orbits.coordinates import (
+    GEOCENTRIC_LATITUDE_MARGIN_DEG,
     ecef_to_eci,
+    ecef_to_geocentric_latlon,
     ecef_to_geodetic,
     eci_to_ecef,
     geodetic_to_ecef,
@@ -51,6 +53,8 @@ __all__ = [
     "Waypoint",
     "constants",
     "ecef_to_eci",
+    "GEOCENTRIC_LATITUDE_MARGIN_DEG",
+    "ecef_to_geocentric_latlon",
     "ecef_to_geodetic",
     "eci_to_ecef",
     "elevation_angle_deg",

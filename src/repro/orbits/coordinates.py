@@ -24,6 +24,19 @@ _WGS84_A = 6378.137
 _WGS84_F = 1.0 / 298.257223563
 _WGS84_E2 = _WGS84_F * (2.0 - _WGS84_F)
 
+#: WGS-84 equatorial (semi-major) radius [km] — the largest radius of the
+#: ellipsoid, so any point at least this far from the centre is at or
+#: above the surface everywhere on Earth.
+WGS84_EQUATORIAL_RADIUS_KM = _WGS84_A
+
+#: Certified upper bound on |geodetic − geocentric| latitude [deg] for any
+#: point at or above the WGS-84 surface.  With ``tan ψ = k·tan φ`` and
+#: ``k = 1 − e²·N/(N + h) ∈ [1 − e², 1]`` for altitude ``h ≥ 0``, the
+#: deviation is maximal at the surface (``k = 1 − e²``), where it reaches
+#: ``arcsin(e² / (2 − e²)) ≈ 0.1924°``; higher altitudes pull ``k`` towards
+#: 1 and shrink it.  The constant includes ~30 % slack on top.
+GEOCENTRIC_LATITUDE_MARGIN_DEG = 0.25
+
 
 def _rotation_z(theta: float) -> np.ndarray:
     cos_t, sin_t = math.cos(theta), math.sin(theta)
@@ -80,6 +93,24 @@ def ecef_to_geodetic(position_ecef: np.ndarray) -> tuple[np.ndarray, np.ndarray,
     n = _WGS84_A / np.sqrt(1.0 - _WGS84_E2 * np.sin(lat) ** 2)
     alt = p / np.cos(lat) - n
     return np.degrees(lat), np.degrees(lon), alt
+
+
+def ecef_to_geocentric_latlon(position_ecef: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """ECEF position (km) to geocentric latitude and longitude (degrees).
+
+    The cheap companion of :func:`ecef_to_geodetic`: no ellipsoid
+    iteration, just two ``arctan2``.  The longitude is *bitwise identical*
+    to the geodetic longitude (same formula); the geocentric latitude
+    deviates from the geodetic one by at most
+    :data:`GEOCENTRIC_LATITUDE_MARGIN_DEG` for points at or above the
+    surface, which lets callers (the bounding-box test) classify points
+    provably far from a latitude threshold without the full conversion.
+    """
+    position_ecef = np.asarray(position_ecef, dtype=float)
+    x, y, z = position_ecef[..., 0], position_ecef[..., 1], position_ecef[..., 2]
+    lon = np.arctan2(y, x)
+    lat = np.arctan2(z, np.sqrt(x * x + y * y))
+    return np.degrees(lat), np.degrees(lon)
 
 
 def subsatellite_point(position_eci: np.ndarray, gmst: float) -> tuple[np.ndarray, np.ndarray]:

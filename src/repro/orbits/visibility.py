@@ -15,10 +15,17 @@ import numpy as np
 from repro.orbits import constants
 
 
+def _row_norm(vectors: np.ndarray) -> np.ndarray:
+    """`sqrt(sum(x², axis=-1))` — same reduction as ``np.linalg.norm`` (and
+    therefore bitwise identical) without its gufunc dispatch overhead,
+    which is measurable at the per-epoch call rates of the hot path."""
+    return np.sqrt(np.add.reduce(vectors * vectors, axis=-1))
+
+
 def slant_range_km(position_a: np.ndarray, position_b: np.ndarray) -> np.ndarray:
     """Euclidean distance [km] between two positions (broadcasts over rows)."""
     difference = np.asarray(position_b, dtype=float) - np.asarray(position_a, dtype=float)
-    return np.linalg.norm(difference, axis=-1)
+    return _row_norm(difference)
 
 
 def elevation_angle_deg(
@@ -31,8 +38,8 @@ def elevation_angle_deg(
     ground = np.asarray(ground_position, dtype=float)
     satellite = np.asarray(satellite_position, dtype=float)
     to_satellite = satellite - ground
-    ground_norm = np.linalg.norm(ground, axis=-1)
-    range_norm = np.linalg.norm(to_satellite, axis=-1)
+    ground_norm = _row_norm(ground)
+    range_norm = _row_norm(to_satellite)
     with np.errstate(invalid="ignore", divide="ignore"):
         sin_elevation = np.sum(to_satellite * ground, axis=-1) / (range_norm * ground_norm)
     sin_elevation = np.clip(sin_elevation, -1.0, 1.0)
@@ -84,7 +91,7 @@ def isl_closest_approach_km(
     with np.errstate(invalid="ignore", divide="ignore"):
         t = np.clip(-np.sum(a * ab, axis=-1) / np.where(ab_sq == 0, 1.0, ab_sq), 0.0, 1.0)
     closest = a + ab * t[..., None] if np.ndim(t) else a + ab * t
-    return np.linalg.norm(closest, axis=-1)
+    return _row_norm(closest)
 
 
 def isl_line_of_sight(

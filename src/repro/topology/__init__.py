@@ -7,7 +7,7 @@ from repro.topology.linkparams import (
     propagation_delay_ms,
     serialization_delay_ms,
 )
-from repro.topology.paths import PathResult, ShortestPaths
+from repro.topology.paths import PathEngine, PathEngineStats, PathResult, ShortestPaths
 from repro.topology.uplinks import visible_satellites, visible_satellites_batch
 
 __all__ = [
@@ -15,6 +15,8 @@ __all__ = [
     "LinkType",
     "NetworkGraph",
     "NodeIndex",
+    "PathEngine",
+    "PathEngineStats",
     "PathResult",
     "ShortestPaths",
     "TopologyDiff",

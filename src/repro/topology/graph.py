@@ -61,7 +61,7 @@ sparse-matrix reconstruction entirely.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
 import numpy as np
@@ -130,6 +130,9 @@ class TopologyDiff:
     links_removed: np.ndarray
     delay_changed: np.ndarray
     bandwidth_changed: np.ndarray
+    #: Lazily filled one-element cache of :meth:`edge_id_map` (the dataclass
+    #: is frozen, so the memo lives in a mutable holder).
+    _id_map_cache: list = field(default_factory=list, init=False, repr=False, compare=False)
 
     @property
     def structural_change_count(self) -> int:
@@ -186,6 +189,39 @@ class TopologyDiff:
     def bandwidth_changed_values_kbps(self) -> np.ndarray:
         """New bandwidths [kbps] of the ``bandwidth_changed`` links."""
         return self.current.bandwidths_kbps[self.bandwidth_changed]
+
+    def edge_id_map(self) -> np.ndarray:
+        """Previous-graph edge id → current-graph edge id (``-1`` if removed).
+
+        Lets diff consumers carry per-edge indices (e.g. the path engine's
+        tree edge ids) across a structural epoch with one gather instead of
+        a fresh pair lookup.  When both epochs share their key layout the
+        map is the identity; otherwise it is derived from the sorted key
+        arrays.  Computed once per diff and cached.
+        """
+        if self._id_map_cache:
+            return self._id_map_cache[0]
+        previous, current = self.previous, self.current
+        previous._finalize()
+        current._finalize()
+        if (
+            previous._keys is current._keys
+            or np.array_equal(previous._keys, current._keys)
+        ):
+            id_map = np.arange(previous._node_a.size, dtype=np.int64)
+        else:
+            _, in_current, in_previous = np.intersect1d(
+                current._sorted_keys,
+                previous._sorted_keys,
+                assume_unique=True,
+                return_indices=True,
+            )
+            id_map = np.full(previous._node_a.size, -1, dtype=np.int64)
+            id_map[previous._sorted_edge_ids[in_previous]] = current._sorted_edge_ids[
+                in_current
+            ]
+        self._id_map_cache.append(id_map)
+        return id_map
 
     def summary(self) -> dict[str, int]:
         """Compact counters (used by logging and the info API)."""
@@ -310,6 +346,7 @@ class NetworkGraph:
         self._adj_indptr: Optional[np.ndarray] = None
         self._adj_nodes: Optional[np.ndarray] = None
         self._adj_edges: Optional[np.ndarray] = None
+        self._clamped_delays: Optional[np.ndarray] = None
         self._links_view: Optional[list[Link]] = None
         if links is not None:
             for link in links:
@@ -452,6 +489,7 @@ class NetworkGraph:
         self._adj_nodes = None
         self._adj_edges = None
         self._csr_template = None
+        self._clamped_delays = None
 
     def _finalize(self) -> None:
         """Concatenate pending chunks and deduplicate node pairs (min delay)."""
@@ -663,6 +701,63 @@ class NetworkGraph:
         found = self._sorted_keys[positions] == keys
         edges = np.where(found, self._sorted_edge_ids[positions], -1)
         return edges
+
+    # -- shortest-path engine helpers ----------------------------------------
+
+    @property
+    def structure_token(self) -> np.ndarray:
+        """Identity token of the edge structure.
+
+        The sorted pair-key array is shared (by object, via
+        :meth:`from_edge_arrays`) between structurally identical epochs,
+        so an ``is`` comparison of this token tells a consumer whether a
+        structure-keyed cache — CSR template, tree edge ids, membership
+        index — is still valid without comparing arrays.
+        """
+        self._finalize()
+        return self._sorted_keys
+
+    def clamped_delays_ms(self) -> np.ndarray:
+        """Per-edge solver weights: delays clamped to :data:`DELAY_EPSILON_MS`.
+
+        Exactly the values scattered into :meth:`delay_matrix`, cached so
+        the incremental path engine's tree re-summing and edge
+        verification use bitwise the same weights as the cold solvers.
+        """
+        self._finalize()
+        if self._clamped_delays is None:
+            self._clamped_delays = np.maximum(self._delay_ms, DELAY_EPSILON_MS)
+        return self._clamped_delays
+
+    def adjacency_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSR adjacency as ``(indptr, neighbor_nodes, edge_ids)`` arrays.
+
+        ``neighbor_nodes[indptr[v]:indptr[v + 1]]`` are the nodes adjacent
+        to ``v`` and ``edge_ids`` the corresponding undirected edge ids —
+        the traversal structure behind :meth:`links_of`, exposed for the
+        path engine's localized re-relaxation.
+        """
+        self._build_adjacency()
+        return self._adj_indptr, self._adj_nodes, self._adj_edges
+
+    def edge_membership(
+        self, rows: np.ndarray, edge_ids: np.ndarray, row_count: int
+    ) -> np.ndarray:
+        """Reverse edge→membership index over per-row edge-id sets.
+
+        Given parallel ``rows``/``edge_ids`` arrays (``-1`` entries are
+        skipped), returns a ``(row_count, total_links)`` boolean matrix
+        whose ``[r, e]`` entry says whether row ``r`` references edge
+        ``e``.  The path engine builds this once per structure epoch from
+        each source's shortest-path-tree edges, then answers "which
+        sources' trees traverse these changed edges?" with one sliced
+        ``any`` reduction.
+        """
+        self._finalize()
+        membership = np.zeros((row_count, self._node_a.size), dtype=bool)
+        valid = edge_ids >= 0
+        membership[rows[valid], edge_ids[valid]] = True
+        return membership
 
     # -- epoch diffs ---------------------------------------------------------
 

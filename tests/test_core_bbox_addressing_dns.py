@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 
 from repro.core import BoundingBox, CelestialDNS, DNSError
 from repro.core.addressing import gateway_ip, machine_ip, network_for, parse_machine_ip
+from repro.orbits import ecef_to_geodetic, geodetic_to_ecef
 
 
 class TestBoundingBox:
@@ -66,6 +67,59 @@ class TestBoundingBox:
         box = BoundingBox(-10.0, 10.0, -20.0, 20.0)
         if box.contains(lat, lon):
             assert box.expanded(3.0).contains(lat, lon)
+
+
+class TestContainsEcef:
+    """The certified geocentric bound must reproduce the exact geodetic
+    verdicts element for element (the differential pipeline relies on it)."""
+
+    BOXES = [
+        BoundingBox(-2.0, 16.0, -8.0, 18.0),        # §4 West-Africa box
+        BoundingBox(-35.0, 35.0, -180.0, -100.0),   # Pacific
+        BoundingBox(10.0, 60.0, 170.0, -170.0),     # antimeridian wrap
+        BoundingBox(-90.0, -60.0, -180.0, 180.0),   # polar cap
+        BoundingBox.whole_earth(),
+    ]
+
+    def _exact(self, box, positions):
+        lat, lon, _ = ecef_to_geodetic(positions)
+        return box.contains(lat, lon)
+
+    def test_random_leo_points_match_exact_path(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(20000, 3))
+        points /= np.sqrt((points * points).sum(axis=1, keepdims=True))
+        points *= rng.uniform(6650.0, 7950.0, (points.shape[0], 1))
+        for box in self.BOXES:
+            assert np.array_equal(box.contains_ecef(points), self._exact(box, points))
+
+    def test_dense_sweep_across_latitude_edges(self):
+        # Points packed tightly around the box latitude edges, inside the
+        # uncertainty band of the geocentric bound, at several altitudes.
+        box = self.BOXES[0]
+        for altitude in (0.0, 550.0, 1325.0):
+            for edge in (box.lat_min, box.lat_max):
+                lats = np.linspace(edge - 0.6, edge + 0.6, 4001)
+                lons = np.linspace(-10.0, 20.0, 4001)
+                points = geodetic_to_ecef(lats, lons, altitude)
+                assert np.array_equal(
+                    box.contains_ecef(points), self._exact(box, points)
+                )
+
+    def test_scalar_input(self):
+        box = self.BOXES[0]
+        inside = geodetic_to_ecef(5.0, 3.0, 550.0)
+        outside = geodetic_to_ecef(30.0, 3.0, 550.0)
+        assert box.contains_ecef(inside) is True
+        assert box.contains_ecef(outside) is False
+
+    def test_subsurface_points_fall_back_to_exact(self):
+        # The margin is only certified at or above the surface; points
+        # below must still get exact verdicts via the fallback.
+        box = self.BOXES[0]
+        lats = np.linspace(-4.0, 18.0, 101)
+        points = geodetic_to_ecef(lats, np.full_like(lats, 5.0), -500.0)
+        assert np.array_equal(box.contains_ecef(points), self._exact(box, points))
 
 
 class TestAddressing:

@@ -148,6 +148,88 @@ class TestInfoAPI:
                 urllib.request.urlopen(f"http://{host}:{port}/nope", timeout=5)
 
 
+class TestDiffHistoryAPI:
+    def _chained(self, epochs=6, keyframe_interval=4):
+        config = Configuration(
+            shells=(
+                ShellConfig(
+                    name="iridium",
+                    geometry=ShellGeometry(6, 11, 780.0, 90.0, 180.0),
+                    network=NetworkParams(min_elevation_deg=8.2),
+                    compute=ComputeParams(vcpu_count=1, memory_mib=1024),
+                ),
+            ),
+            ground_stations=(
+                GroundStationConfig(station=GroundStation("hawaii", 21.3, -157.9)),
+            ),
+            update_interval_s=5.0,
+        )
+        calculation = ConstellationCalculation(config)
+        database = ConstellationDatabase(keyframe_interval=keyframe_interval)
+        state = calculation.state_at(0.0)
+        database.set_state(state)
+        for step in range(1, epochs):
+            state, diff = calculation.diff_since(state, step * 30.0)
+            database.set_state(state, diff=diff)
+        return calculation, database, InfoAPI(database, calculation)
+
+    def test_wire_format_matches_diff_history(self):
+        calculation, database, api = self._chained()
+        payload = api.get("/diffs/1")
+        assert payload["since_epoch"] == 1
+        assert payload["epoch"] == database.epoch
+        assert len(payload["diffs"]) == database.epoch - 1
+        chain = database.diffs_since(1)
+        for record, diff in zip(payload["diffs"], chain):
+            assert record["time_s"] == diff.time_s
+            assert record["previous_time_s"] == diff.previous_time_s
+            assert record["summary"] == diff.summary()
+            assert len(record["links_added"]) == diff.topology.links_added.size
+            assert len(record["links_removed"]) == diff.topology.links_removed.size
+            assert len(record["delay_changed"]) == diff.topology.delay_changed.size
+            for a, b, delay in record["delay_changed"][:5]:
+                assert isinstance(a, int) and isinstance(b, int)
+                link = diff.topology.current.link_between(a, b)
+                assert link is not None and link.delay_ms == delay
+            for a, b, delay, bandwidth in record["links_added"][:5]:
+                assert isinstance(a, int) and isinstance(b, int)
+                link = diff.topology.current.link_between(a, b)
+                assert link is not None
+                assert link.delay_ms == delay and link.bandwidth_kbps == bandwidth
+        # Consecutive epochs are numbered contiguously up to the current one.
+        assert [r["epoch"] for r in payload["diffs"]] == list(
+            range(2, database.epoch + 1)
+        )
+        # JSON-serialisable end to end.
+        json.dumps(payload)
+
+    def test_current_epoch_yields_empty_stream(self):
+        _, database, api = self._chained()
+        payload = api.get(f"/diffs/{database.epoch}")
+        assert payload["diffs"] == []
+
+    def test_pruned_and_future_epochs_are_errors(self):
+        _, database, api = self._chained(epochs=12, keyframe_interval=3)
+        with pytest.raises(InfoAPIError) as excinfo:
+            api.get("/diffs/1")  # pruned away
+        assert "keyframe" in str(excinfo.value)
+        with pytest.raises(InfoAPIError):
+            api.get(f"/diffs/{database.epoch + 5}")  # the future
+
+    def test_served_over_http(self):
+        _, database, api = self._chained()
+        with HTTPInfoServer(api) as server:
+            host, port = server.address
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/diffs/1", timeout=5
+            ) as response:
+                payload = json.loads(response.read())
+                assert payload["epoch"] == database.epoch
+                assert len(payload["diffs"]) == database.epoch - 1
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(f"http://{host}:{port}/diffs/999", timeout=5)
+
+
 class TestAnimation:
     def test_snapshot_structure(self, setup):
         _, _, database, _ = setup

@@ -9,8 +9,10 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.orbits import (
+    GEOCENTRIC_LATITUDE_MARGIN_DEG,
     Epoch,
     ecef_to_eci,
+    ecef_to_geocentric_latlon,
     ecef_to_geodetic,
     eci_to_ecef,
     geodetic_to_ecef,
@@ -111,6 +113,23 @@ def test_subsatellite_point_accounts_for_earth_rotation():
     quarter_turn = math.pi / 2.0
     _, lon = subsatellite_point(position, quarter_turn)
     assert lon == pytest.approx(-90.0, abs=1e-6)
+
+
+def test_geocentric_latitude_margin_is_certified():
+    """Longitude is bitwise the geodetic one; the geocentric latitude stays
+    within the documented margin of the geodetic latitude for points at or
+    above the WGS-84 surface."""
+    rng = np.random.default_rng(0)
+    points = rng.normal(size=(50000, 3))
+    points /= np.sqrt((points * points).sum(axis=1, keepdims=True))
+    points *= rng.uniform(6378.137, 8400.0, (points.shape[0], 1))
+    geocentric_lat, lon = ecef_to_geocentric_latlon(points)
+    geodetic_lat, geodetic_lon, _ = ecef_to_geodetic(points)
+    assert np.array_equal(lon, geodetic_lon)
+    deviation = np.abs(geodetic_lat - geocentric_lat)
+    assert deviation.max() < GEOCENTRIC_LATITUDE_MARGIN_DEG
+    # The margin is tight-ish: the true surface maximum is ≈ 0.1924°.
+    assert deviation.max() > 0.15
 
 
 def test_great_circle_distance_quarter_meridian():

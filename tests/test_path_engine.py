@@ -1,0 +1,326 @@
+"""Equivalence suite for the incremental shortest-path engine.
+
+The engine's contract is byte-identity: distances and reachability of a
+table advanced across any chain of :class:`TopologyDiff`\\ s must equal a
+cold ``ShortestPaths`` solve on the final graph bit for bit — across empty
+diffs, delay-only jitter, structural churn (uplink handovers and injected
+ISL faults) and solver fallbacks.  Predecessor trees may differ only
+between equal-delay alternatives, which the path-reconstruction check pins
+down: every reconstructed path must exist edge-by-edge and its hop-delay
+sum must reproduce the reported distance exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ConstellationCalculation, ConstellationDatabase
+from repro.scenarios import dart_configuration, west_africa_configuration
+from repro.topology import (
+    LinkType,
+    NetworkGraph,
+    NodeIndex,
+    PathEngine,
+    ShortestPaths,
+)
+from repro.topology.graph import DELAY_EPSILON_MS
+
+
+def _assert_tables_identical(table, graph, sources):
+    """Byte-identical distances/reachability vs a cold solve, valid preds."""
+    cold = ShortestPaths(graph, sources=sources)
+    incremental = table._distances
+    reference = cold._distances
+    finite = np.isfinite(reference)
+    assert np.array_equal(np.isfinite(incremental), finite)
+    assert np.array_equal(incremental[finite], reference[finite])
+    # Predecessors may differ from the cold solve only between equal-delay
+    # paths: reconstructed paths must exist and re-sum to the distance.
+    for row, source in enumerate(sources[:4]):
+        for target in (0, incremental.shape[1] // 2, incremental.shape[1] - 1):
+            result = table.path(source, target)
+            if not result.reachable or len(result.hops) < 2:
+                continue
+            hops = np.asarray(result.hops, dtype=np.int64)
+            edges = graph.edge_ids_between(hops[:-1], hops[1:])
+            assert (edges >= 0).all()
+            total = 0.0
+            for edge in edges:
+                total = total + max(float(graph.delays_ms[edge]), DELAY_EPSILON_MS)
+            assert total == result.delay_ms
+
+
+class TestEngineOnSyntheticChains:
+    """Graph-level chains with adversarial epoch mixes."""
+
+    def _random_graph(self, rng, index, n_sat, n_gst):
+        n = len(index)
+        ring_a = np.arange(n_sat)
+        ring_b = (ring_a + 1) % n_sat
+        chord_a = rng.integers(0, n_sat, 30)
+        chord_b = (chord_a + rng.integers(2, 20, 30)) % n_sat
+        gst = np.repeat(np.arange(n_sat, n), 3)
+        sat = rng.integers(0, n_sat, n_gst * 3)
+        node_a = np.concatenate([ring_a, chord_a, gst])
+        node_b = np.concatenate([ring_b, chord_b, sat])
+        keep = node_a != node_b
+        node_a, node_b = node_a[keep], node_b[keep]
+        keys = np.minimum(node_a, node_b) * n + np.maximum(node_a, node_b)
+        _, first = np.unique(keys, return_index=True)
+        first = np.sort(first)
+        node_a, node_b = node_a[first], node_b[first]
+        delays = rng.uniform(1.0, 10.0, node_a.size)
+        return NetworkGraph.from_edge_arrays(
+            index, node_a, node_b, delays * 300.0, delays,
+            np.full(node_a.size, 1e4), np.zeros(node_a.size, np.int8),
+        )
+
+    def _mutated(self, rng, index, graph, kind):
+        if kind == "empty":
+            return NetworkGraph.from_edge_arrays(
+                index, graph.node_a, graph.node_b, graph.distances_km,
+                graph.delays_ms.copy(), graph.bandwidths_kbps,
+                graph.link_type_codes, structure_from=graph,
+            )
+        if kind == "bandwidth":
+            bandwidths = graph.bandwidths_kbps.copy()
+            bandwidths[rng.integers(0, bandwidths.size)] *= 2.0
+            return NetworkGraph.from_edge_arrays(
+                index, graph.node_a, graph.node_b, graph.distances_km,
+                graph.delays_ms.copy(), bandwidths, graph.link_type_codes,
+                structure_from=graph,
+            )
+        delays = graph.delays_ms.copy()
+        count = (
+            rng.integers(1, 4) if kind == "localized"
+            else rng.integers(1, graph.total_links())
+        )
+        touched = rng.choice(graph.total_links(), size=count, replace=False)
+        delays[touched] = rng.uniform(0.5, 12.0, count)
+        return NetworkGraph.from_edge_arrays(
+            index, graph.node_a, graph.node_b, graph.distances_km, delays,
+            graph.bandwidths_kbps, graph.link_type_codes, structure_from=graph,
+        )
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_mixed_chain_byte_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        n_sat, n_gst = 40, 4
+        index = NodeIndex([n_sat], [f"g{i}" for i in range(n_gst)])
+        sources = list(index.ground_station_indices())
+        engine = PathEngine(sources=sources)
+        graph = self._random_graph(rng, index, n_sat, n_gst)
+        table = engine.solve(graph)
+        kinds = ["delay", "localized", "structural", "empty", "bandwidth"]
+        for _ in range(220):
+            kind = kinds[int(rng.integers(0, len(kinds)))]
+            if kind == "structural":
+                new_graph = self._random_graph(rng, index, n_sat, n_gst)
+            else:
+                new_graph = self._mutated(rng, index, graph, kind)
+            diff = new_graph.diff_from(graph)
+            before = engine.stats.solver_calls
+            table = engine.advance(table, new_graph, diff)
+            if diff.is_empty:
+                assert engine.stats.solver_calls == before
+            _assert_tables_identical(table, new_graph, sources)
+            graph = new_graph
+        assert engine.stats.empty_reuses > 0
+        assert engine.stats.structural_epochs > 0
+        assert engine.stats.repaired_epochs > 0
+
+    def test_empty_diff_reuses_arrays_without_solving(self):
+        rng = np.random.default_rng(0)
+        index = NodeIndex([20], ["g0", "g1"])
+        sources = list(index.ground_station_indices())
+        engine = PathEngine(sources=sources)
+        graph = self._random_graph(rng, index, 20, 2)
+        table = engine.solve(graph)
+        clone = self._mutated(rng, index, graph, "empty")
+        diff = clone.diff_from(graph)
+        assert diff.is_empty
+        advanced = engine.advance(table, clone, diff)
+        assert engine.stats.solver_calls == 1  # only the initial cold solve
+        assert engine.stats.empty_reuses == 1
+        assert advanced._distances is table._distances
+        assert advanced._predecessors is table._predecessors
+        assert advanced.graph is clone
+
+    def test_bandwidth_only_diff_is_a_none_dispatch(self):
+        rng = np.random.default_rng(1)
+        index = NodeIndex([20], ["g0", "g1"])
+        sources = list(index.ground_station_indices())
+        engine = PathEngine(sources=sources)
+        graph = self._random_graph(rng, index, 20, 2)
+        table = engine.solve(graph)
+        changed = self._mutated(rng, index, graph, "bandwidth")
+        diff = changed.diff_from(graph)
+        assert not diff.is_empty and diff.is_structural_noop
+        advanced = engine.advance(table, changed, diff)
+        assert engine.stats.solver_calls == 1
+        assert advanced._distances is table._distances
+
+    def test_zero_repair_threshold_forces_solver_rows(self):
+        rng = np.random.default_rng(2)
+        index = NodeIndex([30], ["g0", "g1", "g2"])
+        sources = list(index.ground_station_indices())
+        engine = PathEngine(sources=sources, repair_threshold=0.0)
+        graph = self._random_graph(rng, index, 30, 3)
+        table = engine.solve(graph)
+        for _ in range(25):
+            new_graph = self._mutated(rng, index, graph, "delay")
+            table = engine.advance(table, new_graph, new_graph.diff_from(graph))
+            _assert_tables_identical(table, new_graph, sources)
+            graph = new_graph
+        assert engine.stats.rows_repaired == 0
+        assert engine.stats.rows_solved > 0
+
+    def test_incompatible_table_degrades_to_cold_solve(self):
+        rng = np.random.default_rng(4)
+        index = NodeIndex([20], ["g0", "g1"])
+        sources = list(index.ground_station_indices())
+        engine = PathEngine(sources=sources)
+        graph = self._random_graph(rng, index, 20, 2)
+        floyd = ShortestPaths(graph, sources=sources, method="floyd-warshall")
+        changed = self._mutated(rng, index, graph, "delay")
+        diff = changed.diff_from(graph)
+        advanced = engine.advance(floyd, changed, diff)
+        _assert_tables_identical(advanced, changed, sources)
+        # A table from a foreign graph likewise cold-solves rather than
+        # repairing against mismatched arrays.
+        foreign = engine.advance(advanced, graph, diff)
+        _assert_tables_identical(foreign, graph, sources)
+
+    def test_isl_fault_injection_churn(self):
+        """Forced structural churn: random ISL outages and recoveries.
+
+        Models radiation/weather link faults: every epoch a random subset
+        of ISLs drops out and previously failed ones return, on top of
+        delay jitter — heavy exercise for the removal (subtree re-hang)
+        and reconnection paths, including reachability changes.
+        """
+        rng = np.random.default_rng(7)
+        n_sat, n_gst = 36, 3
+        index = NodeIndex([n_sat], [f"g{i}" for i in range(n_gst)])
+        sources = list(index.ground_station_indices())
+        engine = PathEngine(sources=sources)
+        # Disable the adaptive cold-solve bypass: this test wants the
+        # repair machinery itself under fire every epoch.
+        engine.churn_bypass_threshold = 2.0
+        full = self._random_graph(rng, index, n_sat, n_gst)
+        graph = full
+        table = engine.solve(graph)
+        for _ in range(200):
+            total = full.total_links()
+            failed = rng.choice(total, size=int(rng.integers(0, 6)), replace=False)
+            alive = np.setdiff1d(np.arange(total), failed)
+            delays = full.delays_ms.copy()
+            jitter = rng.choice(total, size=int(rng.integers(1, 20)), replace=False)
+            delays[jitter] = rng.uniform(0.5, 12.0, jitter.size)
+            new_graph = NetworkGraph.from_edge_arrays(
+                index,
+                full.node_a[alive], full.node_b[alive],
+                full.distances_km[alive], delays[alive],
+                full.bandwidths_kbps[alive], full.link_type_codes[alive],
+            )
+            table = engine.advance(table, new_graph, new_graph.diff_from(graph))
+            _assert_tables_identical(table, new_graph, sources)
+            graph = new_graph
+        assert engine.stats.structural_epochs > 100
+
+    def test_churn_guard_bypasses_to_cold_solves(self):
+        """Wholesale churn flips the engine into cold-solve mode (and back)."""
+        rng = np.random.default_rng(9)
+        index = NodeIndex([30], ["g0", "g1", "g2", "g3"])
+        sources = list(index.ground_station_indices())
+        engine = PathEngine(sources=sources)
+        graph = self._random_graph(rng, index, 30, 4)
+        table = engine.solve(graph)
+        for _ in range(30):
+            new_graph = self._random_graph(rng, index, 30, 4)
+            table = engine.advance(table, new_graph, new_graph.diff_from(graph))
+            _assert_tables_identical(table, new_graph, sources)
+            graph = new_graph
+        # Full-graph rewrites every epoch: the guard must have engaged,
+        # and bypassed epochs stay byte-identical (checked above).
+        assert engine.stats.bypassed_epochs > 0
+
+
+class TestEngineOnConstellations:
+    """≥200-epoch incremental-vs-cold equivalence on real constellations."""
+
+    def _run_chain(self, config, epochs, interval):
+        calculation = ConstellationCalculation(config)
+        sources = list(calculation.node_index.ground_station_indices())
+        state = calculation.state_at(0.0)
+        _assert_tables_identical(state.paths, state.graph, sources)
+        for step in range(1, epochs + 1):
+            state, _ = calculation.diff_since(state, step * interval)
+            _assert_tables_identical(state.paths, state.graph, sources)
+        return calculation, state
+
+    def test_iridium_two_hundred_epochs(self):
+        config = dart_configuration(buoy_count=5, sink_count=8, duration_s=7200.0)
+        calculation, _ = self._run_chain(config, epochs=200, interval=30.0)
+        stats = calculation.path_engine.stats
+        # The run must genuinely exercise the dispatch, not just one leg.
+        assert stats.structural_epochs > 0
+        assert stats.repaired_epochs + stats.empty_reuses > 0
+
+    def test_starlink_two_hundred_epochs(self):
+        config = west_africa_configuration(
+            duration_s=7200.0, shells="two-lowest", update_interval_s=2.0
+        )
+        calculation, _ = self._run_chain(config, epochs=200, interval=2.0)
+        stats = calculation.path_engine.stats
+        assert stats.structural_epochs > 0
+
+    def test_empty_diff_epoch_solves_nothing(self):
+        config = dart_configuration(buoy_count=4, sink_count=4, duration_s=600.0)
+        calculation = ConstellationCalculation(config)
+        state = calculation.state_at(0.0)
+        solver_calls = calculation.path_engine.stats.solver_calls
+        # Same timestamp → byte-identical epoch arrays → empty diff.
+        state2, diff = calculation.diff_since(state, 0.0)
+        assert diff.topology.is_empty
+        assert calculation.path_engine.stats.solver_calls == solver_calls
+        assert state2.paths._distances is state.paths._distances
+
+    def test_extra_tables_ride_the_diff_pipeline(self):
+        config = dart_configuration(buoy_count=4, sink_count=4, duration_s=600.0)
+        calculation = ConstellationCalculation(config)
+        state = calculation.state_at(0.0)
+        a = calculation.satellite(0, 3)
+        b = calculation.satellite(0, 40)
+        first = state.delay_ms(a, b)  # creates a lazily cached extra table
+        assert np.isfinite(first)
+        node = state.node_for(a)
+        assert node in state._extra_paths
+        cold_solves = calculation.path_engine.stats.cold_solves
+        state, _ = calculation.diff_since(state, 5.0)
+        # The satellite table was advanced, not re-solved from scratch...
+        assert node in state._extra_paths
+        assert calculation.path_engine.stats.cold_solves == cold_solves
+        # ...and answers byte-identically to a cold single-source solve.
+        reference = ShortestPaths(state.graph, sources=[node])
+        assert state.delay_ms(a, b) == reference.delay_ms(node, state.node_for(b))
+
+    def test_engine_survives_keyframe_replay(self):
+        """A retained keyframe state can seed a replay of the diff chain."""
+        config = dart_configuration(buoy_count=4, sink_count=4, duration_s=600.0)
+        calculation = ConstellationCalculation(config)
+        database = ConstellationDatabase(keyframe_interval=4, retained_keyframes=2)
+        state = calculation.state_at(0.0)
+        database.set_state(state)
+        for step in range(1, 12):
+            state, diff = calculation.diff_since(state, step * 5.0)
+            database.set_state(state, diff=diff)
+        keyframe_epoch = database.keyframe_epochs()[0]
+        replayed = database.keyframe_state(keyframe_epoch).paths
+        engine = PathEngine(sources=replayed.sources)
+        for diff in database.diffs_since(keyframe_epoch):
+            replayed = engine.advance(replayed, diff.topology.current, diff.topology)
+        sources = replayed.sources
+        _assert_tables_identical(replayed, database.state.graph, sources)
+        assert np.array_equal(
+            replayed._distances, database.state.paths._distances
+        )
