@@ -10,6 +10,7 @@ Usage (installed as ``repro-celestial``)::
     repro-celestial snapshot config.toml --time 120 --output snapshot.json --geojson
     repro-celestial meetup --mode satellite --duration 60
     repro-celestial dart --deployment central --buoys 20 --sinks 40 --duration 60
+    repro-celestial dart --deployment central --parallelism processes --workers 4
     repro-celestial handover config.toml --station hawaii --duration 600
     repro-celestial cost --minutes 15
 """
@@ -87,13 +88,16 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
 def _cmd_meetup(args: argparse.Namespace) -> int:
     config = west_africa_configuration(duration_s=args.duration, shells=args.shells,
                                        seed=args.seed)
-    testbed = Celestial(config)
+    testbed = Celestial(config, parallelism=args.parallelism, worker_count=args.workers)
     experiment = MeetupExperiment(
         testbed,
         mode=args.mode,
         stream=VideoStreamParams(packet_interval_s=args.packet_interval),
     )
-    results = experiment.run()
+    try:
+        results = experiment.run()
+    finally:
+        testbed.close()
     merged = results.all_measurements()
     rows = [
         ["samples", len(merged)],
@@ -116,10 +120,13 @@ def _cmd_dart(args: argparse.Namespace) -> int:
         duration_s=args.duration,
         seed=args.seed,
     )
-    testbed = Celestial(config)
+    testbed = Celestial(config, parallelism=args.parallelism, worker_count=args.workers)
     experiment = DartExperiment(testbed, deployment=args.deployment,
                                 group_count=max(2, args.buoys // 5))
-    results = experiment.run()
+    try:
+        results = experiment.run()
+    finally:
+        testbed.close()
     low, high = results.latency_range_ms()
     regions = results.mean_latency_by_region()
     rows = [
@@ -158,6 +165,24 @@ def _cmd_cost(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_parallelism_arguments(parser: argparse.ArgumentParser) -> None:
+    """Fan-out backend selection shared by the experiment subcommands."""
+    parser.add_argument(
+        "--parallelism",
+        choices=["threads", "processes"],
+        default="threads",
+        help="host fan-out backend: in-process thread pool (default) or "
+        "supervised worker processes (escapes the GIL for per-host sweeps)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker-process count for --parallelism processes "
+        "(default: one per emulated host)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser of the ``repro-celestial`` command."""
     parser = argparse.ArgumentParser(prog="repro-celestial", description=__doc__)
@@ -182,6 +207,7 @@ def build_parser() -> argparse.ArgumentParser:
     meetup.add_argument("--shells", choices=["all", "two-lowest", "lowest"], default="two-lowest")
     meetup.add_argument("--packet-interval", type=float, default=0.1)
     meetup.add_argument("--seed", type=int, default=0)
+    _add_parallelism_arguments(meetup)
     meetup.set_defaults(handler=_cmd_meetup)
 
     dart = subparsers.add_parser("dart", help="run the §5 ocean alert experiment")
@@ -190,6 +216,7 @@ def build_parser() -> argparse.ArgumentParser:
     dart.add_argument("--sinks", type=int, default=40)
     dart.add_argument("--duration", type=float, default=60.0)
     dart.add_argument("--seed", type=int, default=0)
+    _add_parallelism_arguments(dart)
     dart.set_defaults(handler=_cmd_dart)
 
     handover = subparsers.add_parser("handover", help="analyse ground-station uplink handovers")

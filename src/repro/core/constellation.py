@@ -82,6 +82,16 @@ from repro.topology.linkparams import link_delay_ms
 from repro.topology.uplinks import visible_satellites_batch
 
 
+def satellite_name(shell: int, identifier: int) -> str:
+    """Canonical DNS-style name of a satellite server.
+
+    The single source of the naming rule: machine creation, the info API
+    and the distribution runtime's wire codec (which rebuilds identities
+    from ``(shell, identifier)`` pairs) all derive names from here.
+    """
+    return f"{identifier}.{shell}.celestial"
+
+
 @dataclass(frozen=True)
 class MachineId:
     """Identity of one emulated machine (satellite or ground station)."""
@@ -552,7 +562,7 @@ class ConstellationCalculation:
             raise IndexError(f"shell {shell} out of range")
         if not 0 <= identifier < len(self.shells[shell]):
             raise IndexError(f"satellite {identifier} out of range for shell {shell}")
-        return MachineId(shell, identifier, f"{identifier}.{shell}.celestial")
+        return MachineId(shell, identifier, satellite_name(shell, identifier))
 
     def ground_station(self, name: str) -> MachineId:
         """MachineId of a ground-station server (O(1) name lookup)."""

@@ -36,14 +36,38 @@ epoch how much solver work a :class:`TopologyDiff` actually requires
 too — ``delays_from`` slices engine-repaired rows into
 :class:`~repro.core.machine_manager.HostStateSlice` unchanged, because the
 engine's tables are byte-identical to cold solves.
+
+The thread-vs-process seam
+--------------------------
+
+Since PR 4 *where* the slices are applied is a backend decision
+(``parallelism="threads" | "processes"``, default threads):
+
+* ``threads`` — the managers live in this process and
+  :class:`~repro.dist.backend.ThreadFanoutBackend` applies the slices over
+  a persistent thread pool (the PR 2/3 behaviour).  Pure-Python per-host
+  sweeps serialise on the GIL, but nothing crosses a process boundary.
+* ``processes`` — :class:`~repro.dist.backend.ProcessFanoutBackend` owns a
+  pool of supervised worker processes (``repro.dist``), each holding the
+  authoritative managers of one or more hosts.  Slices travel as compact
+  buffer-backed wire frames, the per-host sweeps run genuinely in parallel,
+  and usage samples / counters / dirty-machine reconciliation results
+  stream back.  The coordinator keeps in-process *shadow* managers for
+  placement and parent-side queries; crashed workers are respawned and
+  replayed from the database's keyframe + diff chain.
+
+Both backends are driven through the same four calls (``apply_slices``,
+``apply_full_state``, ``sample_all``, ``close``), so everything above this
+seam — sharding, diff pipeline, stats — is backend-agnostic, and the
+observable results (machine states, suspend/resume counters, usage
+samples) are byte-identical between the two.
 """
 
 from __future__ import annotations
 
 import time as wallclock
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Literal, Optional
 
 import numpy as np
 
@@ -69,6 +93,12 @@ class UpdateStats:
     full_updates: int = 0
     diff_updates: int = 0
     diff_change_counts: list[int] = field(default_factory=list)
+    #: Wall-clock of the fan-out step alone (slice/state application),
+    #: one entry per update — the quantity the thread-vs-process
+    #: benchmark compares.
+    fanout_seconds: list[float] = field(default_factory=list)
+    #: Wall-clock of each usage-sampling sweep (``sample_all_usage``).
+    sample_seconds: list[float] = field(default_factory=list)
 
     @property
     def mean_wallclock_s(self) -> float:
@@ -95,14 +125,34 @@ class Coordinator:
         network: Optional[VirtualNetwork] = None,
         incremental: bool = True,
         concurrent_fanout: bool = True,
+        parallelism: Literal["threads", "processes"] = "threads",
+        worker_count: Optional[int] = None,
+        mp_context=None,
     ):
         self.config = config
         self.calculation = calculation
         self.database = database
-        self.managers = managers
         self.network = network
         self.incremental = incremental
         self.concurrent_fanout = concurrent_fanout
+        self.parallelism = parallelism
+        # The backends are imported lazily: repro.dist itself imports from
+        # repro.core, so a module-level import would be circular.
+        if parallelism == "processes":
+            from repro.dist.backend import ProcessFanoutBackend
+
+            self._backend = ProcessFanoutBackend(
+                managers, database, worker_count=worker_count, mp_context=mp_context
+            )
+        elif parallelism == "threads":
+            from repro.dist.backend import ThreadFanoutBackend
+
+            self._backend = ThreadFanoutBackend(managers, concurrent=concurrent_fanout)
+        else:
+            raise ValueError(f"unknown parallelism backend {parallelism!r}")
+        # In process mode these are MirroredManager proxies (shadow +
+        # forwarding); in thread mode they are the managers passed in.
+        self.managers = list(self._backend.managers)
         self.stats = UpdateStats()
         self._machine_manager_of: dict[str, MachineManager] = {}
         # Distribution-layer shard map: flat node index → manager position
@@ -110,11 +160,9 @@ class Coordinator:
         # maintained incrementally as machines are created.
         self._node_owner = np.full(len(calculation.node_index), -1, dtype=np.int64)
         self._host_nodes: list[list[int]] = [[] for _ in managers]
-        self._manager_position = {id(manager): pos for pos, manager in enumerate(managers)}
-        # Lazily created, persistent fan-out pool (one thread per manager);
-        # spawning threads per epoch would tax the very path this pipeline
-        # optimises.
-        self._fanout_pool: Optional[ThreadPoolExecutor] = None
+        self._manager_position = {
+            id(manager): pos for pos, manager in enumerate(self.managers)
+        }
 
     # -- machine bookkeeping -------------------------------------------------
 
@@ -322,33 +370,48 @@ class Coordinator:
         ]
 
     def _fan_out(self, slices: list[HostStateSlice], now_s: float) -> None:
-        """Apply the per-host slices, concurrently when there are several hosts.
+        """Apply the per-host slices through the configured backend.
 
         Each manager only mutates its own host's machines, so the slices
         can be applied in parallel; the per-manager counters and machine
-        transitions are deterministic regardless of completion order.
+        transitions are deterministic regardless of completion order (and
+        of the backend: threads and worker processes produce byte-identical
+        observable state).
         """
-        if self.concurrent_fanout and len(self.managers) > 1:
-            if self._fanout_pool is None:
-                self._fanout_pool = ThreadPoolExecutor(
-                    max_workers=len(self.managers),
-                    thread_name_prefix="celestial-fanout",
-                )
-            futures = [
-                self._fanout_pool.submit(manager.apply_diff, state_slice, now_s)
-                for manager, state_slice in zip(self.managers, slices)
-            ]
-            for future in futures:
-                future.result()
-        else:
-            for manager, state_slice in zip(self.managers, slices):
-                manager.apply_diff(state_slice, now_s)
+        started = wallclock.perf_counter()
+        self._backend.apply_slices(slices, now_s)
+        self.stats.fanout_seconds.append(wallclock.perf_counter() - started)
+
+    def sample_all_usage(
+        self, now_s: float, setup_phase: bool = False, applying_update: bool = False
+    ):
+        """One usage-sampling sweep over every host, via the backend.
+
+        With the process backend the per-host sweeps (which walk every
+        microVM of a host in Python) run genuinely in parallel in the
+        workers and the samples stream back; with the thread backend they
+        run over the fan-out pool.  Results are identical either way and
+        are recorded into the per-host resource traces.
+        """
+        started = wallclock.perf_counter()
+        samples = self._backend.sample_all(
+            now_s, setup_phase=setup_phase, applying_update=applying_update
+        )
+        self.stats.sample_seconds.append(wallclock.perf_counter() - started)
+        return samples
 
     def close(self) -> None:
-        """Release the fan-out thread pool (idempotent)."""
-        if self._fanout_pool is not None:
-            self._fanout_pool.shutdown(wait=True)
-            self._fanout_pool = None
+        """Release the fan-out backend (idempotent, both backends).
+
+        Thread backend: joins the fan-out pool.  Process backend: drains and
+        joins every worker, escalating to terminate/kill — deterministic
+        even when called during interpreter shutdown (the workers are
+        additionally daemonic and the supervisor registers an ``atexit``
+        finaliser, so no backend can outlive or hang the interpreter).
+        """
+        backend = getattr(self, "_backend", None)
+        if backend is not None:
+            backend.close()
 
     def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
         try:
@@ -376,8 +439,9 @@ class Coordinator:
         self.database.set_state(state, diff=diff)
         if diff is None:
             self._ensure_active_satellites(state, now_s)
-            for manager in self.managers:
-                manager.apply_state(state, now_s)
+            started_fanout = wallclock.perf_counter()
+            self._backend.apply_full_state(state, now_s)
+            self.stats.fanout_seconds.append(wallclock.perf_counter() - started_fanout)
             if self.network is not None:
                 self.network.mark_updated()
             self.stats.full_updates += 1

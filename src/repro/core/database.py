@@ -27,7 +27,12 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.constellation import ConstellationDiff, ConstellationState, MachineId
+from repro.core.constellation import (
+    ConstellationDiff,
+    ConstellationState,
+    MachineId,
+    satellite_name,
+)
 from repro.net.network import PairRule
 
 
@@ -113,6 +118,56 @@ class ConstellationDatabase:
                 f"resynchronise from a keyframe ({self.keyframe_epochs()})"
             )
         return [self._diffs[e] for e in wanted]
+
+    def diffs_between(self, start_epoch: int, end_epoch: int) -> list[ConstellationDiff]:
+        """The unbroken diff chain advancing ``start_epoch`` to ``end_epoch``.
+
+        A consumer holding the state of ``start_epoch`` applies the returned
+        diffs in order to arrive at ``end_epoch``.  Both epochs must lie
+        within the retained history window; raises ``KeyError`` otherwise.
+        (Retained diffs are contiguous — pruning only trims the old end —
+        so the chain to the current epoch restricted to ``end_epoch`` is
+        exactly the wanted chain.)
+        """
+        if not 0 <= start_epoch <= end_epoch <= self.epoch:
+            raise KeyError(
+                f"epoch range [{start_epoch}, {end_epoch}] is not within "
+                f"[0, {self.epoch}]"
+            )
+        return self.diffs_since(start_epoch)[: end_epoch - start_epoch]
+
+    def activity_at_epoch(self, epoch: int) -> dict[int, np.ndarray]:
+        """Per-shell bounding-box activity masks as of a past epoch.
+
+        Replayed from the nearest retained keyframe at or before ``epoch``
+        plus the diff chain forward — this is how a crashed worker's
+        supervisor reconstructs which of its satellites were suspended at
+        the last acknowledged checkpoint (``repro.dist.supervisor``).
+        Raises ``KeyError`` when the pruned history no longer reaches
+        ``epoch``.
+        """
+        if epoch == self.epoch and self._state is not None:
+            return {
+                shell: mask.copy()
+                for shell, mask in self._state.active_satellites.items()
+            }
+        anchors = [k for k in self._keyframes if k <= epoch]
+        if not anchors:
+            raise KeyError(
+                f"no retained keyframe at or before epoch {epoch} "
+                f"(keyframes: {self.keyframe_epochs()})"
+            )
+        anchor = max(anchors)
+        masks = {
+            shell: mask.copy()
+            for shell, mask in self._keyframes[anchor].active_satellites.items()
+        }
+        for diff in self.diffs_between(anchor, epoch):
+            for shell, identifiers in diff.activated.items():
+                masks[shell][identifiers] = True
+            for shell, identifiers in diff.deactivated.items():
+                masks[shell][identifiers] = False
+        return masks
 
     @property
     def state(self) -> ConstellationState:
@@ -253,7 +308,7 @@ class ConstellationDatabase:
         return {
             "shell": shell,
             "identifier": identifier,
-            "name": f"{identifier}.{shell}.celestial",
+            "name": satellite_name(shell, identifier),
             "position_ecef_km": [float(x) for x in positions[identifier]],
             "latitude_deg": latitude,
             "longitude_deg": longitude,

@@ -26,6 +26,23 @@ involves its own machines — and applies it with
   changes touching this host; they are informational state the real system
   would turn into netem rules (the virtual network consumes the same diff
   centrally) and are exposed via :attr:`MachineManager.last_slice`.
+
+Process boundary
+----------------
+
+Since PR 4 a manager may live in a worker *process* (``repro.dist``): the
+coordinator keeps an in-process shadow for placement and bookkeeping while
+the authoritative copy applies slices and runs the per-host usage-sampling
+sweeps behind a pipe.  Three members exist for that runtime:
+:meth:`MachineManager.apply_activity` (the full-replay sweep expressed over
+raw per-shell activity masks, so a first-epoch replay does not need the
+whole :class:`ConstellationState` on the wire),
+:meth:`MachineManager.counters_snapshot` (the checkpoint streamed back with
+every acknowledgement) and :meth:`MachineManager.restore_runtime_state`
+(applied by a respawned worker after the durable control ledger has been
+replayed: forces bounding-box activity to the checkpoint epoch — recovered
+from the database's keyframe + diff chain — without touching the
+suspend/resume counters, then restores counters and RNG stream exactly).
 """
 
 from __future__ import annotations
@@ -170,13 +187,25 @@ class MachineManager:
         This is the full-replay reference path (and the first-epoch path);
         steady-state updates go through :meth:`apply_diff` instead.
         """
+        self.apply_activity(state.active_satellites, now_s)
+
+    def apply_activity(
+        self, active_satellites: dict[int, np.ndarray], now_s: float
+    ) -> None:
+        """Full-replay sweep expressed over raw per-shell activity masks.
+
+        Byte-equivalent to :meth:`apply_state` (which delegates here): the
+        masks are exactly ``ConstellationState.active_satellites``.  Workers
+        receive them as a compact ``APPLY_ACTIVITY`` wire frame instead of
+        the whole constellation state.
+        """
         for name, machine_id in self._machine_ids.items():
             if machine_id.is_ground_station:
                 continue
             machine = self.host.machines.get(name)
             if machine is None:
                 continue
-            active = state.is_active(machine_id)
+            active = bool(active_satellites[machine_id.shell][machine_id.identifier])
             self._reconcile_activity(machine, active, now_s)
         self._dirty.clear()
 
@@ -260,3 +289,81 @@ class MachineManager:
         return self.host.sample_usage(
             now_s, setup_phase=setup_phase, applying_update=applying_update, rng=self._rng
         )
+
+    def advance_sample_stream(
+        self, setup_phase: bool = False, applying_update: bool = False
+    ) -> None:
+        """Consume the random variates one :meth:`sample_usage` call would draw.
+
+        A shadow manager whose authoritative copy samples in a worker
+        process calls this instead of sampling, so machine creations *after*
+        a sample draw the same per-machine seeds (and hence boot-time
+        jitter) in every backend.
+        """
+        self._rng.random(
+            self.host.sample_rng_draws(
+                setup_phase=setup_phase, applying_update=applying_update
+            )
+        )
+
+    # -- checkpoint / restore (supervised worker recovery) -----------------------
+
+    def counters_snapshot(self) -> dict:
+        """Checkpoint of the observable runtime counters plus the RNG state.
+
+        Streamed back with every worker acknowledgement; a supervisor
+        restores it verbatim after a crash so counters and all future random
+        draws (usage-sample jitter) continue exactly where the last
+        acknowledged operation left them.
+        """
+        return {
+            "suspension_count": self.suspension_count,
+            "resume_count": self.resume_count,
+            "applied_diffs": self.applied_diffs,
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    def restore_runtime_state(
+        self,
+        active_satellites: Optional[dict[int, np.ndarray]],
+        snapshot: dict,
+        now_s: float,
+        skip: Optional[set[str]] = None,
+    ) -> None:
+        """Restore a freshly rebuilt manager to a checkpointed epoch.
+
+        Called on a respawned worker after the durable control ledger
+        (machine creations, fault-injection ops) has been replayed:
+
+        * bounding-box activity is *forced* to the per-shell masks of the
+          checkpoint epoch — recovered by the supervisor from the database's
+          keyframe + diff chain — without counting the transitions (the
+          counters below already include them); ``None`` when the manager
+          had not applied any epoch yet (counters/RNG restore only);
+        * machines in ``skip`` are left exactly as the ledger rebuilt them:
+          these are dirty machines whose lifecycle changed outside the diff
+          protocol after the checkpoint, and the next slice's
+          ``dirty_active`` map reconciles them *with* counting, exactly as
+          the in-process path would;
+        * counters and the RNG stream are restored from ``snapshot``.
+        """
+        skip = skip if skip is not None else set()
+        if active_satellites is not None:
+            for name, machine_id in self._machine_ids.items():
+                if machine_id.is_ground_station or name in skip:
+                    continue
+                machine = self.host.machines.get(name)
+                if machine is None or not machine.is_booted:
+                    continue
+                active = bool(
+                    active_satellites[machine_id.shell][machine_id.identifier]
+                )
+                if machine.state is MachineState.RUNNING and not active:
+                    machine.suspend(now_s)
+                elif machine.state is MachineState.SUSPENDED and active:
+                    machine.resume(now_s)
+        self.suspension_count = int(snapshot["suspension_count"])
+        self.resume_count = int(snapshot["resume_count"])
+        self.applied_diffs = int(snapshot["applied_diffs"])
+        self._rng.bit_generator.state = snapshot["rng_state"]
+        self._dirty.clear()

@@ -36,6 +36,8 @@ class Celestial:
         path_sources: Literal["ground_stations", "all"] = "ground_stations",
         usage_sample_interval_s: float = 5.0,
         allow_memory_overcommit: bool = True,
+        parallelism: Literal["threads", "processes"] = "threads",
+        worker_count: Optional[int] = None,
     ):
         self.config = config
         self.sim = Simulation()
@@ -67,8 +69,19 @@ class Celestial:
             rng=self.streams.stream("network"),
         )
         self.coordinator = Coordinator(
-            config, self.calculation, self.database, self.managers, self.network
+            config,
+            self.calculation,
+            self.database,
+            self.managers,
+            self.network,
+            parallelism=parallelism,
+            worker_count=worker_count,
         )
+        # With the process backend the coordinator hands out mirrored
+        # managers (in-process shadows + worker forwarding); use those for
+        # every manager-level interaction so lifecycle operations reach the
+        # authoritative worker-side copies.
+        self.managers = self.coordinator.managers
         self.fault_injector = FaultInjector(
             manager_resolver=self.coordinator.manager_for, network=self.network
         )
@@ -106,8 +119,7 @@ class Celestial:
             return
         self._started = True
         self.coordinator.create_ground_stations(self.sim.now)
-        for manager in self.managers:
-            manager.sample_usage(self.sim.now, setup_phase=True)
+        self.coordinator.sample_all_usage(self.sim.now, setup_phase=True)
         self.sim.process(self.coordinator.run_updates(self.sim))
         self.sim.process(self._usage_sampling_process())
 
@@ -116,14 +128,24 @@ class Celestial:
         while True:
             yield self.sim.timeout(interval)
             applying_update = (self.sim.now % self.config.update_interval_s) < 1e-9
-            for manager in self.managers:
-                manager.sample_usage(self.sim.now, applying_update=applying_update)
+            self.coordinator.sample_all_usage(
+                self.sim.now, applying_update=applying_update
+            )
 
     def run(self, until: Optional[float] = None) -> None:
         """Run the emulation until ``until`` (default: the configured duration)."""
         if not self._started:
             self.start()
         self.sim.run(until if until is not None else self.config.duration_s)
+
+    def close(self) -> None:
+        """Release the coordinator's fan-out backend (idempotent).
+
+        Required with ``parallelism="processes"`` to join the worker pool
+        deterministically; a no-op-safe courtesy with the default thread
+        backend (and also invoked automatically at interpreter exit).
+        """
+        self.coordinator.close()
 
     # -- application-facing API ------------------------------------------------------
 

@@ -1,0 +1,498 @@
+"""The thread-vs-process fan-out seam behind the coordinator.
+
+The coordinator's distribution policy (who receives which slice) is
+expressed once, in :meth:`~repro.core.coordinator.Coordinator._shard`; *how*
+the slices reach the managers is a backend concern:
+
+* :class:`ThreadFanoutBackend` — the managers live in the coordinator
+  process and slices are applied over a persistent thread pool (the PR 2/3
+  behaviour, and the default).
+* :class:`ProcessFanoutBackend` — the authoritative managers live in
+  supervised worker processes (:mod:`repro.dist.worker`).  Slices travel as
+  :mod:`repro.dist.wire` frames; the workers apply them, run the per-host
+  usage-sampling sweeps outside the GIL, and stream samples, counters and
+  dirty-machine reconciliation results back.
+
+Shadow managers
+---------------
+
+In process mode the coordinator keeps the managers it was constructed with
+as in-process **shadows**: they perform placement (reserved-memory balance),
+dirty-machine tracking and the cheap O(transitions) slice bookkeeping, so
+every parent-side query (``manager_for``, ``is_running_at``, fault
+injection, the virtual network's running-check) stays a local call.  The
+expensive per-host sweeps happen worker-side only; the shadows merely
+consume the same RNG draws a sweep performs
+(:meth:`~repro.core.machine_manager.MachineManager.advance_sample_stream`),
+which keeps both streams in lockstep with a single-process run — machines
+created after a sample seed identically everywhere, so even sub-second boot
+jitter is backend-invariant.  Returned usage samples are recorded into the
+shadow hosts' traces so observability (``resource_traces()``) is
+backend-agnostic.  After every fan-out the backend verifies the workers'
+counters and reconciliation results against the shadows and raises
+:class:`WorkerDesyncError` on any divergence, which turns the
+backend-equivalence guarantee (and the correctness of crash recovery by
+keyframe + diff replay) into a runtime invariant.
+
+Lifecycle operations arriving through :class:`MirroredManager` (the proxy
+the coordinator hands out in process mode) are applied to the shadow and
+forwarded to the owning worker as durable control frames, in program order
+— which is what keeps the worker RNG streams in lockstep with what a
+single-process run would have drawn.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional
+
+from repro.core.constellation import ConstellationState, MachineId
+from repro.core.machine_manager import HostStateSlice, MachineManager
+from repro.hosts.resources import UsageSample
+from repro.dist import wire
+from repro.dist.supervisor import WorkerSupervisor
+from repro.dist.wire import FrameKind
+from repro.dist.worker import HostSpec, WorkerSpec
+
+
+class WorkerDesyncError(RuntimeError):
+    """A worker's observable state diverged from its in-process shadow."""
+
+
+class FanoutBackend:
+    """Common surface of the fan-out backends (documentation base class)."""
+
+    #: ``"threads"`` or ``"processes"``.
+    parallelism: str
+
+    @property
+    def managers(self) -> list:
+        """The manager objects the coordinator should hand out."""
+        raise NotImplementedError
+
+    def apply_slices(self, slices: list[HostStateSlice], now_s: float) -> None:
+        """Apply one epoch's per-host slices (one per manager position)."""
+        raise NotImplementedError
+
+    def apply_full_state(self, state: ConstellationState, now_s: float) -> None:
+        """Full-replay sweep (first epoch / non-incremental path)."""
+        raise NotImplementedError
+
+    def sample_all(
+        self, now_s: float, setup_phase: bool = False, applying_update: bool = False
+    ) -> list[UsageSample]:
+        """One usage-sampling sweep across every host, in position order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (idempotent)."""
+        raise NotImplementedError
+
+
+class ThreadFanoutBackend(FanoutBackend):
+    """In-process managers, slices fanned out over a persistent thread pool."""
+
+    parallelism = "threads"
+
+    def __init__(self, managers: list[MachineManager], concurrent: bool = True):
+        self._managers = list(managers)
+        self.concurrent = concurrent
+        # Lazily created, persistent pool (one thread per manager); spawning
+        # threads per epoch would tax the very path this pipeline optimises.
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._closed = False
+
+    @property
+    def managers(self) -> list[MachineManager]:
+        return self._managers
+
+    def _map(self, calls) -> list:
+        """Run one callable per manager, over the pool when it pays off."""
+        if self._closed:
+            raise RuntimeError("the fan-out backend has been closed")
+        if self.concurrent and len(self._managers) > 1:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=len(self._managers),
+                    thread_name_prefix="celestial-fanout",
+                )
+            return [future.result() for future in
+                    [self._pool.submit(call) for call in calls]]
+        return [call() for call in calls]
+
+    def apply_slices(self, slices: list[HostStateSlice], now_s: float) -> None:
+        # Each manager only mutates its own host's machines, so the slices
+        # can be applied in parallel; the per-manager counters and machine
+        # transitions are deterministic regardless of completion order.
+        self._map([
+            (lambda m=manager, s=state_slice: m.apply_diff(s, now_s))
+            for manager, state_slice in zip(self._managers, slices)
+        ])
+
+    def apply_full_state(self, state: ConstellationState, now_s: float) -> None:
+        for manager in self._managers:
+            manager.apply_state(state, now_s)
+
+    def sample_all(
+        self, now_s: float, setup_phase: bool = False, applying_update: bool = False
+    ) -> list[UsageSample]:
+        return self._map([
+            (lambda m=manager: m.sample_usage(
+                now_s, setup_phase=setup_phase, applying_update=applying_update
+            ))
+            for manager in self._managers
+        ])
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class MirroredManager:
+    """Coordinator-side proxy of a worker-owned manager.
+
+    Lifecycle operations are applied to the in-process shadow (placement,
+    dirty tracking, machine states) *and* forwarded to the owning worker as
+    durable control frames; reads delegate to the shadow.  Usage sampling is
+    worker-authoritative: the sample is drawn from the worker's RNG stream
+    and recorded into the shadow host's trace.
+    """
+
+    def __init__(self, shadow: MachineManager, backend: "ProcessFanoutBackend", position: int):
+        self._shadow = shadow
+        self._backend = backend
+        self.position = position
+
+    def __getattr__(self, name):
+        return getattr(self._shadow, name)
+
+    @staticmethod
+    def _identity(machine_id: MachineId) -> dict:
+        return {
+            "shell": machine_id.shell,
+            "identifier": machine_id.identifier,
+            "name": machine_id.name,
+        }
+
+    def create_machine(self, machine_id, compute, kernel=None, rootfs=None):
+        machine = self._shadow.create_machine(machine_id, compute, kernel, rootfs)
+        # kernel/rootfs are small frozen dataclasses: they ride the metadata
+        # blob so the worker's authoritative copy (and every ledger replay)
+        # is built from the same images as the shadow.
+        self._backend.forward(
+            self.position,
+            FrameKind.CREATE_MACHINE,
+            {
+                **self._identity(machine_id),
+                "compute": dataclasses.asdict(compute),
+                "kernel": kernel,
+                "rootfs": rootfs,
+            },
+        )
+        return machine
+
+    def boot(self, machine_id, now_s: float) -> float:
+        finished = self._shadow.boot(machine_id, now_s)
+        self._backend.forward(
+            self.position, FrameKind.BOOT, {**self._identity(machine_id), "now_s": now_s}
+        )
+        return finished
+
+    def boot_all(self, now_s: float) -> float:
+        finished = self._shadow.boot_all(now_s)
+        self._backend.forward(self.position, FrameKind.BOOT_ALL, {"now_s": now_s})
+        return finished
+
+    def stop_machine(self, machine_id, now_s: float) -> None:
+        self._shadow.stop_machine(machine_id, now_s)
+        self._backend.forward(
+            self.position, FrameKind.STOP, {**self._identity(machine_id), "now_s": now_s}
+        )
+
+    def reboot_machine(self, machine_id, now_s: float) -> float:
+        finished = self._shadow.reboot_machine(machine_id, now_s)
+        self._backend.forward(
+            self.position, FrameKind.REBOOT, {**self._identity(machine_id), "now_s": now_s}
+        )
+        return finished
+
+    def set_cpu_quota(self, machine_id, quota_fraction: float) -> None:
+        self._shadow.set_cpu_quota(machine_id, quota_fraction)
+        self._backend.forward(
+            self.position,
+            FrameKind.SET_CPU_QUOTA,
+            {**self._identity(machine_id), "quota_fraction": quota_fraction},
+        )
+
+    def set_busy_fraction(self, machine_id, fraction: float) -> None:
+        self._shadow.set_busy_fraction(machine_id, fraction)
+        self._backend.forward(
+            self.position,
+            FrameKind.SET_BUSY,
+            {**self._identity(machine_id), "fraction": fraction},
+        )
+
+    def sample_usage(
+        self, now_s: float, setup_phase: bool = False, applying_update: bool = False
+    ) -> UsageSample:
+        return self._backend.sample_one(
+            self.position, now_s, setup_phase=setup_phase, applying_update=applying_update
+        )
+
+    def apply_state(self, state, now_s: float) -> None:
+        raise NotImplementedError(
+            "slice application is routed through the coordinator's fan-out "
+            "backend in process mode"
+        )
+
+    apply_diff = apply_state
+
+
+class ProcessFanoutBackend(FanoutBackend):
+    """Supervised worker processes behind the coordinator's fan-out seam."""
+
+    parallelism = "processes"
+
+    def __init__(
+        self,
+        managers: list[MachineManager],
+        database,
+        worker_count: Optional[int] = None,
+        mp_context=None,
+        max_restarts: int = 3,
+        ack_timeout_s: float = 120.0,
+    ):
+        self._shadows = list(managers)
+        self._database = database
+        if worker_count is None:
+            worker_count = len(self._shadows)
+        worker_count = max(1, min(worker_count, len(self._shadows)))
+        self.worker_count = worker_count
+        # Hosts are partitioned round-robin over the workers; the worker
+        # manager RNG streams start from the shadows' states *now*, before
+        # any draw, so they replay exactly what a single-process run draws.
+        self._worker_of = [
+            position % worker_count for position in range(len(self._shadows))
+        ]
+        specs = [
+            WorkerSpec(
+                worker_index=index,
+                hosts=tuple(
+                    HostSpec(
+                        position=position,
+                        host_index=shadow.host.index,
+                        cpu_cores=shadow.host.cpu_cores,
+                        memory_mib=shadow.host.memory_mib,
+                        allow_memory_overcommit=shadow.host.allow_memory_overcommit,
+                        rng_state=shadow._rng.bit_generator.state,
+                    )
+                    for position, shadow in enumerate(self._shadows)
+                    if position % worker_count == index
+                ),
+            )
+            for index in range(worker_count)
+        ]
+        self.supervisor = WorkerSupervisor(
+            specs,
+            database=database,
+            dirty_resolver=self._dirty_names,
+            mp_context=mp_context,
+            max_restarts=max_restarts,
+            ack_timeout_s=ack_timeout_s,
+        )
+        self._proxies = [
+            MirroredManager(shadow, self, position)
+            for position, shadow in enumerate(self._shadows)
+        ]
+        self._closed = False
+
+    # -- plumbing -----------------------------------------------------------
+
+    @property
+    def managers(self) -> list[MirroredManager]:
+        return self._proxies
+
+    @property
+    def shadows(self) -> list[MachineManager]:
+        """The in-process shadow managers (placement and bookkeeping)."""
+        return self._shadows
+
+    def _dirty_names(self, position: int) -> set[str]:
+        return set(self._shadows[position]._dirty)
+
+    def forward(self, position: int, kind: FrameKind, meta: dict) -> None:
+        """Forward one durable control frame to the owning worker."""
+        self.supervisor.post(
+            self._worker_of[position], kind, {**meta, "position": position}
+        )
+
+    def _verify_counters(self, acks_by_worker: dict[int, dict]) -> None:
+        """Check the workers' counter checkpoints against the shadows."""
+        for ack in acks_by_worker.values():
+            for position, snapshot in ack["counters"].items():
+                shadow = self._shadows[position]
+                observed = (
+                    snapshot["suspension_count"],
+                    snapshot["resume_count"],
+                    snapshot["applied_diffs"],
+                )
+                expected = (
+                    shadow.suspension_count,
+                    shadow.resume_count,
+                    shadow.applied_diffs,
+                )
+                if observed != expected:
+                    raise WorkerDesyncError(
+                        f"host {shadow.host.index}: worker counters "
+                        f"(suspensions, resumes, diffs) = {observed} diverged "
+                        f"from the shadow's {expected}"
+                    )
+
+    # -- FanoutBackend ------------------------------------------------------
+
+    def apply_slices(self, slices: list[HostStateSlice], now_s: float) -> None:
+        supervisor = self.supervisor
+        supervisor.start()
+        supervisor.check()  # heartbeat sweep: restart idle-crashed workers
+        for position, state_slice in enumerate(slices):
+            meta, arrays = wire.slice_payload(state_slice)
+            supervisor.begin_request(
+                self._worker_of[position],
+                FrameKind.APPLY_SLICE,
+                {**meta, "now_s": now_s, "position": position},
+                arrays,
+            )
+        # The cheap O(transitions) bookkeeping runs on the shadows while the
+        # workers chew on their sweeps in parallel.
+        for shadow, state_slice in zip(self._shadows, slices):
+            shadow.apply_diff(state_slice, now_s)
+        last_acks: dict[int, dict] = {}
+        reconciled: dict[int, dict] = {}
+        for position in range(len(slices)):
+            ack = supervisor.finish_request(self._worker_of[position])
+            last_acks[self._worker_of[position]] = ack
+            reconciled.update(ack.get("reconciled", {}))
+        self._verify_counters(last_acks)
+        for position, outcomes in reconciled.items():
+            shadow = self._shadows[position]
+            for name, state_value in outcomes.items():
+                if shadow.host.machines[name].state.value != state_value:
+                    raise WorkerDesyncError(
+                        f"dirty machine {name!r} reconciled to {state_value!r} "
+                        f"on the worker but "
+                        f"{shadow.host.machines[name].state.value!r} on the shadow"
+                    )
+
+    def apply_full_state(self, state: ConstellationState, now_s: float) -> None:
+        supervisor = self.supervisor
+        supervisor.start()
+        supervisor.check()
+        meta, arrays = wire.activity_payload(
+            state.active_satellites, state.time_s, self._epoch_hint(state)
+        )
+        for worker in range(self.worker_count):
+            supervisor.begin_request(
+                worker, FrameKind.APPLY_ACTIVITY, {**meta, "now_s": now_s}, arrays
+            )
+        for shadow in self._shadows:
+            shadow.apply_state(state, now_s)
+        acks = {
+            worker: supervisor.finish_request(worker)
+            for worker in range(self.worker_count)
+        }
+        self._verify_counters(acks)
+
+    def _epoch_hint(self, state: ConstellationState) -> int:
+        return self._database.epoch if self._database is not None else 0
+
+    def sample_all(
+        self, now_s: float, setup_phase: bool = False, applying_update: bool = False
+    ) -> list[UsageSample]:
+        supervisor = self.supervisor
+        supervisor.start()
+        meta = {
+            "now_s": now_s,
+            "setup_phase": setup_phase,
+            "applying_update": applying_update,
+            "positions": None,
+        }
+        for worker in range(self.worker_count):
+            supervisor.begin_request(worker, FrameKind.SAMPLE_USAGE, meta)
+        # While the workers sweep, the shadows consume the same RNG draws
+        # (without sampling) so later machine creations seed identically on
+        # both sides of the pipe — see MachineManager.advance_sample_stream.
+        for shadow in self._shadows:
+            shadow.advance_sample_stream(
+                setup_phase=setup_phase, applying_update=applying_update
+            )
+        samples: dict[int, UsageSample] = {}
+        for worker in range(self.worker_count):
+            ack = supervisor.finish_request(worker)
+            for position, fields in ack["samples"].items():
+                samples[position] = UsageSample(**fields)
+        ordered = [samples[position] for position in sorted(samples)]
+        for position in sorted(samples):
+            self._shadows[position].host.trace.record(samples[position])
+        return ordered
+
+    def sample_one(
+        self,
+        position: int,
+        now_s: float,
+        setup_phase: bool = False,
+        applying_update: bool = False,
+    ) -> UsageSample:
+        """Sample a single host (used by :meth:`MirroredManager.sample_usage`)."""
+        ack = self.supervisor.request(
+            self._worker_of[position],
+            FrameKind.SAMPLE_USAGE,
+            {
+                "now_s": now_s,
+                "setup_phase": setup_phase,
+                "applying_update": applying_update,
+                "positions": [position],
+            },
+        )
+        self._shadows[position].advance_sample_stream(
+            setup_phase=setup_phase, applying_update=applying_update
+        )
+        sample = UsageSample(**ack["samples"][position])
+        self._shadows[position].host.trace.record(sample)
+        return sample
+
+    # -- observability / fault injection -------------------------------------
+
+    def worker_counters(self) -> dict[int, dict]:
+        """Latest acknowledged per-position counters, straight from the workers."""
+        counters: dict[int, dict] = {}
+        for worker in range(self.worker_count):
+            checkpoint = self.supervisor.checkpoint(worker)
+            if checkpoint is not None:
+                counters.update(checkpoint["counters"])
+        return counters
+
+    def crash_worker(self, worker: int) -> None:
+        """Test hook: hard-kill one worker process."""
+        self.supervisor.crash_worker(worker)
+
+    @property
+    def restart_count(self) -> int:
+        """Number of worker restarts performed by the supervisor."""
+        return self.supervisor.restart_count
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.supervisor.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass

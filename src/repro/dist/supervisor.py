@@ -1,0 +1,465 @@
+"""Supervision of the worker-process pool: spawn, heartbeat, crash recovery.
+
+The supervisor owns one pipe + process pair per :class:`~repro.dist.worker.
+WorkerSpec` and gives the fan-out backend three primitives:
+
+* :meth:`WorkerSupervisor.post` — fire-and-forget control frames (machine
+  creations, fault-injection ops).  Durable posts are journalled in a
+  per-worker **control ledger** before they are sent; the ledger is the
+  worker's genesis history and is replayed verbatim into a fresh process
+  after a crash.
+* :meth:`WorkerSupervisor.begin_request` / :meth:`finish_request` — frames
+  that want an acknowledgement.  Splitting send from collect lets the
+  backend broadcast one slice to every worker and only then start draining
+  acks, so workers chew in parallel.  Every acknowledgement carries the
+  worker's counter/RNG checkpoint and becomes the recovery point.
+* :meth:`WorkerSupervisor.check` / :meth:`ping` — heartbeat: a liveness
+  sweep over the pool (dead processes are detected and restarted before the
+  next fan-out trips over a broken pipe) and an end-to-end round-trip probe.
+
+Crash recovery
+--------------
+
+A worker crash is detected three ways: a broken/EOF pipe while sending or
+collecting, a heartbeat sweep finding the process dead, or an ack wait
+observing process exit.  Recovery then proceeds in three steps:
+
+1. **Respawn** a fresh process from the original spec (same host blueprint,
+   same initial RNG states).
+2. **Replay the control ledger** — the worker re-creates and boots exactly
+   the machines it owned, in the original order.
+3. **Restore runtime state from the database's keyframe + diff chain**: the
+   per-shell bounding-box activity masks of the last acknowledged epoch are
+   reconstructed with :meth:`~repro.core.database.ConstellationDatabase.
+   activity_at_epoch` (nearest retained keyframe, diffs replayed forward)
+   and shipped in a ``RESTORE`` frame together with the checkpointed
+   counters and RNG states.  Machines whose lifecycle changed outside the
+   diff protocol after the checkpoint (the coordinator-side dirty set,
+   obtained through ``dirty_resolver``) are skipped, so the next slice's
+   ``dirty_active`` map reconciles them *with* counting — exactly like the
+   in-process path.
+
+The in-flight request that observed the crash is then re-sent: the restored
+worker is at the checkpoint epoch, so re-applying the current epoch's slice
+produces the same transitions (and counter increments) the uncrashed worker
+would have produced.  Restarts are bounded by ``max_restarts`` per worker.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import time
+from collections import deque
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.dist import wire
+from repro.dist.wire import FrameKind
+from repro.dist.worker import WorkerSpec, worker_main
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died (detected via pipe, heartbeat or exit code)."""
+
+
+class WorkerRemoteError(RuntimeError):
+    """A worker reported an exception while executing a frame."""
+
+
+def default_context() -> multiprocessing.context.BaseContext:
+    """The start-method context used for worker processes.
+
+    ``fork`` (where available) shares the already-imported scientific stack
+    with the children, which makes spawning a 4-worker pool cheap; set
+    ``CELESTIAL_MP_CONTEXT=spawn`` to force the slower, stateless method.
+    """
+    name = os.environ.get("CELESTIAL_MP_CONTEXT")
+    if name is None:
+        name = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    return multiprocessing.get_context(name)
+
+
+class _Handle:
+    """Book-keeping of one supervised worker."""
+
+    def __init__(self, spec: WorkerSpec):
+        self.spec = spec
+        self.process = None
+        self.conn = None
+        self.seq = 0
+        self.ledger: list[bytes] = []
+        self.checkpoint: Optional[dict[str, Any]] = None
+        self.inflight: deque[tuple[int, bytes]] = deque()
+        self.restarts = 0
+        # Set when a send observed a broken pipe: recovery is deferred to
+        # the next collect/heartbeat so that every frame of the current
+        # epoch is already queued in ``inflight`` when the worker is rebuilt
+        # (the restore skip-set is derived from those frames).
+        self.dead = False
+
+
+class WorkerSupervisor:
+    """Spawns, monitors and restarts the worker-process pool."""
+
+    def __init__(
+        self,
+        specs: list[WorkerSpec],
+        database=None,
+        dirty_resolver: Optional[Callable[[int], set[str]]] = None,
+        mp_context=None,
+        max_restarts: int = 3,
+        ack_timeout_s: float = 120.0,
+    ):
+        self._handles = [_Handle(spec) for spec in specs]
+        self._database = database
+        self._dirty_resolver = dirty_resolver
+        self._ctx = mp_context if mp_context is not None else default_context()
+        self.max_restarts = max_restarts
+        self.ack_timeout_s = ack_timeout_s
+        self.restart_count = 0
+        self._started = False
+        self._closed = False
+        self._last_now_s = 0.0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        """Whether the pool has been spawned."""
+        return self._started
+
+    @property
+    def worker_count(self) -> int:
+        """Number of supervised workers."""
+        return len(self._handles)
+
+    def start(self) -> None:
+        """Spawn every worker process (idempotent; a closed pool stays closed)."""
+        if self._closed:
+            raise RuntimeError("the worker pool has been closed")
+        if self._started:
+            return
+        self._started = True
+        for handle in self._handles:
+            self._spawn(handle)
+        atexit.register(self.close)
+
+    def _spawn(self, handle: _Handle) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(handle.spec, child_conn),
+            name=f"celestial-worker-{handle.spec.worker_index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        handle.process = process
+        handle.conn = parent_conn
+
+    def close(self) -> None:
+        """Join/kill every worker deterministically (idempotent).
+
+        Safe to call during interpreter shutdown: a best-effort SHUTDOWN
+        frame drains each worker, stragglers are terminated, then killed.
+        The workers are daemonic as a last line of defence, so even an
+        unserviced close can never hang interpreter exit.
+        """
+        if self._closed or not self._started:
+            self._closed = True
+            return
+        self._closed = True
+        for handle in self._handles:
+            if handle.process is None:
+                continue
+            try:
+                if handle.process.is_alive():
+                    handle.conn.send_bytes(wire.encode_frame(FrameKind.SHUTDOWN, {}))
+            except (OSError, BrokenPipeError, ValueError):
+                pass
+            handle.process.join(timeout=2.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+            if handle.process.is_alive():  # pragma: no cover - last resort
+                handle.process.kill()
+                handle.process.join(timeout=1.0)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+        try:
+            atexit.unregister(self.close)
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
+
+    # -- frame transport ----------------------------------------------------
+
+    def _track_time(self, meta: dict[str, Any]) -> None:
+        if "now_s" in meta:
+            self._last_now_s = max(self._last_now_s, float(meta["now_s"]))
+
+    def post(
+        self,
+        worker: int,
+        kind: FrameKind,
+        meta: dict[str, Any],
+        arrays: tuple[np.ndarray, ...] = (),
+        durable: bool = True,
+    ) -> None:
+        """Send a fire-and-forget control frame (journalled when durable).
+
+        The frame is appended to the worker's ledger *before* the send, so a
+        crash mid-send is recovered by the ledger replay alone — the frame
+        is never lost and never applied twice (the replay target is a fresh
+        process).
+        """
+        self.start()
+        self._track_time(meta)
+        handle = self._handles[worker]
+        frame = wire.encode_frame(kind, meta, arrays)
+        if durable:
+            handle.ledger.append(frame)
+        if handle.dead:
+            return  # durable frames reach the successor via the ledger replay
+        try:
+            handle.conn.send_bytes(frame)
+        except (OSError, BrokenPipeError, EOFError):
+            handle.dead = True
+
+    def begin_request(
+        self,
+        worker: int,
+        kind: FrameKind,
+        meta: dict[str, Any],
+        arrays: tuple[np.ndarray, ...] = (),
+    ) -> int:
+        """Send an acknowledged frame without waiting; returns its sequence.
+
+        Several requests may be in flight per worker (one per slice of a
+        multi-host worker); acknowledgements are collected FIFO with
+        :meth:`finish_request`.
+        """
+        self.start()
+        self._track_time(meta)
+        handle = self._handles[worker]
+        handle.seq += 1
+        frame = wire.encode_frame(kind, {**meta, "seq": handle.seq}, arrays)
+        handle.inflight.append((handle.seq, frame))
+        if not handle.dead:
+            try:
+                handle.conn.send_bytes(frame)
+            except (OSError, BrokenPipeError, EOFError):
+                handle.dead = True  # recovered at collect time, frame queued
+        return handle.seq
+
+    def finish_request(self, worker: int) -> dict[str, Any]:
+        """Collect the acknowledgement of the oldest in-flight request.
+
+        Crashes observed while sending or waiting trigger recovery and a
+        re-send of all in-flight frames; worker-side exceptions surface as
+        :class:`WorkerRemoteError`.
+        """
+        handle = self._handles[worker]
+        if not handle.inflight:
+            raise RuntimeError(f"worker {worker} has no request in flight")
+        while True:
+            try:
+                if handle.dead:
+                    raise WorkerCrashError(
+                        f"worker {handle.spec.worker_index} pipe broke mid-send"
+                    )
+                meta = self._await_ack(handle, handle.inflight[0][0])
+                handle.inflight.popleft()
+                return meta
+            except WorkerCrashError:
+                self._recover(handle)  # re-sends every in-flight frame
+
+    def request(
+        self,
+        worker: int,
+        kind: FrameKind,
+        meta: dict[str, Any],
+        arrays: tuple[np.ndarray, ...] = (),
+    ) -> dict[str, Any]:
+        """Round-trip one acknowledged frame."""
+        self.begin_request(worker, kind, meta, arrays)
+        return self.finish_request(worker)
+
+    def _await_ack(self, handle: _Handle, seq: int) -> dict[str, Any]:
+        deadline = time.monotonic() + self.ack_timeout_s
+        while not handle.conn.poll(0.05):
+            if not handle.process.is_alive():
+                raise WorkerCrashError(
+                    f"worker {handle.spec.worker_index} died "
+                    f"(exit code {handle.process.exitcode})"
+                )
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"worker {handle.spec.worker_index} did not acknowledge "
+                    f"frame {seq} within {self.ack_timeout_s:.0f}s"
+                )
+        try:
+            data = handle.conn.recv_bytes()
+        except (EOFError, OSError) as error:
+            raise WorkerCrashError(
+                f"worker {handle.spec.worker_index} pipe closed: {error}"
+            ) from error
+        kind, meta, _arrays = wire.decode_frame(data)
+        if kind is FrameKind.ERROR:
+            raise WorkerRemoteError(
+                f"worker {handle.spec.worker_index} failed:\n{meta['traceback']}"
+            )
+        if kind is not FrameKind.ACK or meta.get("seq") != seq:
+            raise WorkerRemoteError(
+                f"worker {handle.spec.worker_index} sent unexpected "
+                f"{kind.name} (seq {meta.get('seq')!r}, expected {seq})"
+            )
+        if meta.get("deferred_errors"):
+            raise WorkerRemoteError(
+                f"worker {handle.spec.worker_index} control-frame errors: "
+                + "; ".join(meta["deferred_errors"])
+            )
+        handle.checkpoint = meta
+        return meta
+
+    # -- heartbeat ----------------------------------------------------------
+
+    def check(self) -> int:
+        """Liveness sweep: restart any dead worker; returns restarts made."""
+        if not self._started or self._closed:
+            return 0
+        restarted = 0
+        for handle in self._handles:
+            if handle.dead or (
+                handle.process is not None and not handle.process.is_alive()
+            ):
+                self._recover(handle)
+                restarted += 1
+        return restarted
+
+    def ping(self, worker: int) -> dict[str, Any]:
+        """End-to-end heartbeat probe (returns the worker's checkpoint meta)."""
+        return self.request(worker, FrameKind.PING, {})
+
+    def checkpoint(self, worker: int) -> Optional[dict[str, Any]]:
+        """The worker's last acknowledged checkpoint (None before the first)."""
+        return self._handles[worker].checkpoint
+
+    def crash_worker(self, worker: int) -> None:
+        """Test hook: hard-kill a worker (SIGKILL), as a real crash would."""
+        handle = self._handles[worker]
+        if handle.process is not None and handle.process.is_alive():
+            handle.process.kill()
+            handle.process.join(timeout=5.0)
+
+    # -- recovery -----------------------------------------------------------
+
+    def _recover(self, handle: _Handle) -> None:
+        # A successor can die too (repeatable crash, OOM while rebuilding
+        # thousands of microVMs), so the whole rebuild — spawn, ledger
+        # replay, restore, in-flight re-send — retries under the same
+        # bounded restart budget instead of leaking raw pipe errors.
+        while True:
+            handle.restarts += 1
+            self.restart_count += 1
+            if handle.restarts > self.max_restarts:
+                raise WorkerCrashError(
+                    f"worker {handle.spec.worker_index} exceeded "
+                    f"{self.max_restarts} restarts"
+                )
+            if handle.process is not None:
+                if handle.process.is_alive():  # pragma: no cover - defensive
+                    handle.process.kill()
+                handle.process.join(timeout=5.0)
+                try:
+                    handle.conn.close()
+                except OSError:
+                    pass
+            self._spawn(handle)
+            handle.dead = False
+            try:
+                for frame in handle.ledger:
+                    handle.conn.send_bytes(frame)
+                self._restore(handle)
+                for _seq, frame in handle.inflight:
+                    handle.conn.send_bytes(frame)
+                return
+            except (OSError, BrokenPipeError, EOFError, WorkerCrashError):
+                continue  # the successor died mid-recovery: rebuild again
+
+    def _restore(self, handle: _Handle) -> None:
+        """Ship the keyframe + diff replay of the checkpointed state.
+
+        One ``RESTORE`` frame per manager: a worker owning several hosts may
+        have acknowledged this epoch's slice for one host but not the other,
+        so each manager is restored to *its own* last-acknowledged epoch and
+        the re-sent in-flight slices advance exactly the managers that were
+        behind — counting their transitions once, like the thread backend.
+        """
+        if handle.checkpoint is None or self._database is None:
+            return
+        # Snapshot the checkpoint: the restore acknowledgements below
+        # overwrite handle.checkpoint with the successor's state, which is
+        # only fully valid once *every* position has been restored.  If the
+        # successor dies mid-restore, roll back so the retry recovers from
+        # the original (complete) checkpoint, not a half-rebuilt one.
+        checkpoint = handle.checkpoint
+        # Machines whose out-of-protocol lifecycle change has not yet been
+        # reconciled *by the worker* keep their ledger-rebuilt state so the
+        # (re-sent) slice counts the reconcile exactly once.  Two sources:
+        # the coordinator-side dirty sets (crash detected before the epoch's
+        # slices were sharded) and the dirty_active maps of the still
+        # unacknowledged in-flight slice frames (crash detected mid-epoch,
+        # after the shadows already reconciled and cleared their dirty
+        # sets).  Machine names are globally unique → one flat set.
+        skip: set[str] = set()
+        positions = list(checkpoint["counters"])
+        if self._dirty_resolver is not None:
+            for position in positions:
+                skip |= self._dirty_resolver(position)
+        for _seq, frame in handle.inflight:
+            kind, frame_meta, _arrays = wire.decode_frame(frame)
+            if kind is FrameKind.APPLY_SLICE:
+                skip |= set(frame_meta["dirty_active"])
+        epochs = checkpoint.get("epochs", {})
+        masks_cache: dict[int, dict] = {}
+        try:
+            for position in positions:
+                epoch = int(epochs.get(position, 0))
+                if epoch > 0:
+                    if epoch not in masks_cache:
+                        masks_cache[epoch] = self._database.activity_at_epoch(epoch)
+                    active = masks_cache[epoch]
+                    shells = sorted(active)
+                    arrays = tuple(active[shell] for shell in shells)
+                else:
+                    # Nothing applied yet: restore counters/RNG only.
+                    shells, arrays = [], ()
+                handle.seq += 1
+                meta = {
+                    "seq": handle.seq,
+                    "position": position,
+                    "epoch": epoch,
+                    "force_activity": epoch > 0,
+                    "now_s": self._last_now_s,
+                    "shells": shells,
+                    "snapshot": checkpoint["counters"][position],
+                    "skip": sorted(skip),
+                }
+                handle.conn.send_bytes(
+                    wire.encode_frame(FrameKind.RESTORE, meta, arrays)
+                )
+                self._await_ack(handle, handle.seq)
+        except BaseException:
+            handle.checkpoint = checkpoint
+            raise
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass

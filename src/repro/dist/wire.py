@@ -1,0 +1,289 @@
+"""Versioned wire protocol for coordinator ↔ worker traffic.
+
+Frame layout
+------------
+
+Every message is one self-contained frame::
+
+    +---------+---------+------+-------+----------+-------------+
+    | magic   | version | kind | flags | meta_len | array_count |   header
+    | 4 bytes |   u16   |  u8  |  u8   |   u32    |     u32     |
+    +---------+---------+------+-------+----------+-------------+
+    | metadata blob (meta_len bytes)                            |
+    +-----------------------------------------------------------+
+    | raw array buffers, concatenated in descriptor order       |
+    +-----------------------------------------------------------+
+
+The metadata blob holds the small, scalar part of the payload (epoch
+numbers, machine names, counters) plus one *descriptor* per NumPy array:
+``(dtype_str, shape)``.  The arrays themselves travel as their raw memory
+buffers appended after the blob — **not** pickled field by field — so a
+multi-kilobyte per-ground-station delay vector costs one ``memcpy`` each
+way and round-trips byte-identically (dtype, shape and payload bits).
+
+The header is parsed with :mod:`struct` and the version is checked *before*
+the metadata blob is deserialised; a frame from a different protocol
+generation is rejected with :class:`WireVersionError` instead of being
+misinterpreted.  The metadata blob itself uses pickle protocol 5 — it only
+ever crosses a pipe between a coordinator and the worker processes it
+spawned itself, never an untrusted boundary.
+
+Payload codecs
+--------------
+
+:func:`encode_slice` / :func:`decode_slice` map a
+:class:`~repro.core.machine_manager.HostStateSlice` onto a frame:
+``activated`` / ``deactivated`` machine identities are shipped as
+``(shell, identifier)`` integer arrays (satellite names are canonical:
+``"{identifier}.{shell}.celestial"``), the link arrays and per-ground-station
+delay vectors as raw buffers, and the small ``dirty_active`` map in the
+metadata blob.  :func:`encode_activity` ships the per-shell bounding-box
+activity masks of a full-state replay the same way.
+"""
+
+from __future__ import annotations
+
+import enum
+import pickle
+import struct
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.core.constellation import MachineId, satellite_name
+from repro.core.machine_manager import HostStateSlice
+
+#: Frame magic: "CeLestial Wire".
+WIRE_MAGIC = b"CLW1"
+#: Protocol generation.  Bump on any incompatible frame/codec change.
+WIRE_VERSION = 1
+
+_HEADER = struct.Struct("<4sHBBII")
+
+
+class WireError(ValueError):
+    """Raised when a frame cannot be decoded."""
+
+
+class WireVersionError(WireError):
+    """Raised when a frame was produced by an incompatible protocol version."""
+
+
+class FrameKind(enum.IntEnum):
+    """Message types of the coordinator ↔ worker protocol."""
+
+    # worker → coordinator
+    ACK = 0
+    ERROR = 1
+    # control plane (durable: replayed from the ledger after a crash)
+    CREATE_MACHINE = 10
+    BOOT = 11
+    BOOT_ALL = 12
+    STOP = 13
+    REBOOT = 14
+    SET_CPU_QUOTA = 15
+    SET_BUSY = 16
+    # data plane (recovered via keyframe + diff replay, never journalled)
+    APPLY_SLICE = 20
+    APPLY_ACTIVITY = 21
+    SAMPLE_USAGE = 22
+    RESTORE = 23
+    # lifecycle
+    PING = 30
+    SHUTDOWN = 31
+    CRASH = 32  # test hook: hard-exit without cleanup
+
+
+def encode_frame(
+    kind: FrameKind,
+    meta: Optional[dict[str, Any]] = None,
+    arrays: tuple[np.ndarray, ...] = (),
+) -> bytes:
+    """Serialise one frame: header + metadata blob + raw array buffers."""
+    descriptors = []
+    buffers = []
+    for array in arrays:
+        array = np.ascontiguousarray(array)
+        descriptors.append((array.dtype.str, array.shape))
+        buffers.append(array.tobytes())
+    blob = pickle.dumps(
+        {"meta": meta if meta is not None else {}, "arrays": descriptors},
+        protocol=5,
+    )
+    header = _HEADER.pack(
+        WIRE_MAGIC, WIRE_VERSION, int(kind), 0, len(blob), len(descriptors)
+    )
+    return b"".join([header, blob, *buffers])
+
+
+def decode_frame(data: bytes) -> tuple[FrameKind, dict[str, Any], list[np.ndarray]]:
+    """Parse one frame back into ``(kind, meta, arrays)``.
+
+    The returned arrays are zero-copy read-only views over ``data``; copy
+    them before mutating.  Raises :class:`WireError` on malformed frames and
+    :class:`WireVersionError` on a protocol-version mismatch (checked before
+    anything else is deserialised).
+    """
+    if len(data) < _HEADER.size:
+        raise WireError(f"frame truncated: {len(data)} bytes < header size")
+    magic, version, kind, _flags, meta_len, array_count = _HEADER.unpack_from(data)
+    if magic != WIRE_MAGIC:
+        raise WireError(f"bad frame magic {magic!r}")
+    if version != WIRE_VERSION:
+        raise WireVersionError(
+            f"wire protocol version {version} is not supported "
+            f"(this codec speaks version {WIRE_VERSION})"
+        )
+    offset = _HEADER.size
+    if len(data) < offset + meta_len:
+        raise WireError("frame truncated inside the metadata blob")
+    try:
+        blob = pickle.loads(data[offset : offset + meta_len])
+        meta, descriptors = blob["meta"], blob["arrays"]
+    except Exception as error:
+        raise WireError(f"undecodable metadata blob: {error}") from error
+    if len(descriptors) != array_count:
+        raise WireError(
+            f"descriptor count {len(descriptors)} != header array count {array_count}"
+        )
+    offset += meta_len
+    view = memoryview(data)
+    arrays = []
+    for dtype_str, shape in descriptors:
+        dtype = np.dtype(dtype_str)
+        nbytes = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+        if len(data) < offset + nbytes:
+            raise WireError("frame truncated inside an array buffer")
+        arrays.append(
+            np.frombuffer(view[offset : offset + nbytes], dtype=dtype).reshape(shape)
+        )
+        offset += nbytes
+    if offset != len(data):
+        raise WireError(f"{len(data) - offset} trailing bytes after the last array")
+    return FrameKind(kind), meta, arrays
+
+
+# -- machine identities ------------------------------------------------------
+
+
+def _machine_ids_to_arrays(
+    machines: tuple[MachineId, ...],
+) -> tuple[np.ndarray, np.ndarray]:
+    shells = np.array([m.shell for m in machines], dtype=np.int64)
+    identifiers = np.array([m.identifier for m in machines], dtype=np.int64)
+    return shells, identifiers
+
+
+def _machine_ids_from_arrays(
+    shells: np.ndarray, identifiers: np.ndarray
+) -> tuple[MachineId, ...]:
+    # Satellite names are canonical, so identities rebuild without a
+    # ConstellationCalculation on the worker side.  Only satellites cross
+    # this path: ground stations never flip activity.
+    return tuple(
+        MachineId(int(shell), int(identifier), satellite_name(int(shell), int(identifier)))
+        for shell, identifier in zip(shells.tolist(), identifiers.tolist())
+    )
+
+
+# -- HostStateSlice codec ----------------------------------------------------
+
+#: Fixed array fields of a slice frame, in wire order.
+_SLICE_FIELDS = (
+    "machine_nodes",
+    "links_added",
+    "added_delays_ms",
+    "links_removed",
+    "links_delay_changed",
+    "delay_changed_ms",
+)
+
+
+def slice_payload(
+    state_slice: HostStateSlice,
+) -> tuple[dict[str, Any], tuple[np.ndarray, ...]]:
+    """The ``(meta, arrays)`` payload of one per-host slice frame."""
+    activated = _machine_ids_to_arrays(state_slice.activated)
+    deactivated = _machine_ids_to_arrays(state_slice.deactivated)
+    gst_names = list(state_slice.gst_delays_ms)
+    uplink_names = list(state_slice.uplink_delays_ms)
+    meta = {
+        "host_index": state_slice.host_index,
+        "time_s": state_slice.time_s,
+        "epoch": state_slice.epoch,
+        "dirty_active": dict(state_slice.dirty_active),
+        "gst_names": gst_names,
+        "uplink_names": uplink_names,
+    }
+    arrays = (
+        *(getattr(state_slice, name) for name in _SLICE_FIELDS),
+        *activated,
+        *deactivated,
+        *(state_slice.gst_delays_ms[name] for name in gst_names),
+        *(state_slice.uplink_delays_ms[name] for name in uplink_names),
+        *(state_slice.uplink_bandwidths_kbps[name] for name in uplink_names),
+    )
+    return meta, arrays
+
+
+def encode_slice(state_slice: HostStateSlice) -> bytes:
+    """Encode one per-host slice as an ``APPLY_SLICE`` frame."""
+    meta, arrays = slice_payload(state_slice)
+    return encode_frame(FrameKind.APPLY_SLICE, meta, arrays)
+
+
+def decode_slice(meta: dict[str, Any], arrays: list[np.ndarray]) -> HostStateSlice:
+    """Rebuild a :class:`HostStateSlice` from a decoded ``APPLY_SLICE`` frame."""
+    fixed = dict(zip(_SLICE_FIELDS, arrays))
+    cursor = len(_SLICE_FIELDS)
+    activated = _machine_ids_from_arrays(arrays[cursor], arrays[cursor + 1])
+    deactivated = _machine_ids_from_arrays(arrays[cursor + 2], arrays[cursor + 3])
+    cursor += 4
+    gst_names = meta["gst_names"]
+    uplink_names = meta["uplink_names"]
+    gst_delays = dict(zip(gst_names, arrays[cursor : cursor + len(gst_names)]))
+    cursor += len(gst_names)
+    uplink_delays = dict(zip(uplink_names, arrays[cursor : cursor + len(uplink_names)]))
+    cursor += len(uplink_names)
+    uplink_bandwidths = dict(
+        zip(uplink_names, arrays[cursor : cursor + len(uplink_names)])
+    )
+    return HostStateSlice(
+        host_index=meta["host_index"],
+        time_s=meta["time_s"],
+        epoch=meta["epoch"],
+        activated=activated,
+        deactivated=deactivated,
+        dirty_active=meta["dirty_active"],
+        gst_delays_ms=gst_delays,
+        uplink_delays_ms=uplink_delays,
+        uplink_bandwidths_kbps=uplink_bandwidths,
+        **fixed,
+    )
+
+
+# -- full-state activity codec ----------------------------------------------
+
+
+def activity_payload(
+    active_satellites: dict[int, np.ndarray], time_s: float, epoch: int
+) -> tuple[dict[str, Any], tuple[np.ndarray, ...]]:
+    """The ``(meta, arrays)`` payload of a full-state activity frame."""
+    shells = sorted(active_satellites)
+    meta = {"shells": shells, "time_s": time_s, "epoch": epoch}
+    return meta, tuple(active_satellites[shell] for shell in shells)
+
+
+def encode_activity(
+    active_satellites: dict[int, np.ndarray], time_s: float, epoch: int
+) -> bytes:
+    """Encode the per-shell bounding-box masks of a full-state replay."""
+    meta, arrays = activity_payload(active_satellites, time_s, epoch)
+    return encode_frame(FrameKind.APPLY_ACTIVITY, meta, arrays)
+
+
+def decode_activity(
+    meta: dict[str, Any], arrays: list[np.ndarray]
+) -> tuple[dict[int, np.ndarray], float, int]:
+    """Rebuild ``(active_satellites, time_s, epoch)`` from an activity frame."""
+    return dict(zip(meta["shells"], arrays)), meta["time_s"], meta["epoch"]

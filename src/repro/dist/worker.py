@@ -1,0 +1,255 @@
+"""The worker-process entrypoint of the distribution runtime.
+
+One worker owns one or more :class:`~repro.core.machine_manager.
+MachineManager`\\ s — each with its :class:`~repro.hosts.Host` and microVMs —
+in a child process.  It plays the role a Celestial host plays on a real
+machine of the paper's testbed: receive the part of every constellation
+update that concerns its own machines, apply it, and report host resource
+usage back to the coordinator (§3, Fig. 2).
+
+Protocol
+--------
+
+The worker reads :mod:`repro.dist.wire` frames from its pipe in order and
+executes them sequentially, which makes its random streams replayable: the
+coordinator forwards machine creations and usage-sample requests in exactly
+the order the in-process thread backend would execute them, so every random
+draw (usage-sample jitter, microVM boot times) lands on the same generator
+state as in a single-process run — the foundation of the byte-identical
+backend-equivalence guarantee.
+
+Frames whose metadata carries a ``seq`` number are acknowledged.  Every
+acknowledgement streams back the worker's observable state: per-manager
+counter/RNG checkpoints (:meth:`MachineManager.counters_snapshot`), the
+dirty-machine reconciliation results of an applied slice, usage samples, and
+any errors from unacknowledged control frames.  The supervisor keeps the
+latest acknowledgement as the recovery checkpoint.
+
+Control frames (machine creation, fault-injection ops) are *durable*: the
+supervisor journals them and replays the journal into a fresh process after
+a crash, followed by a ``RESTORE`` frame that forces bounding-box activity
+to the checkpoint epoch (recovered from the database's keyframe + diff
+chain) and restores counters and RNG streams.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import traceback
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.core.config import ComputeParams
+from repro.core.constellation import MachineId
+from repro.core.machine_manager import MachineManager
+from repro.dist import wire
+from repro.dist.wire import FrameKind
+from repro.hosts import Host
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Blueprint of one host (and its manager) owned by a worker.
+
+    ``rng_state`` is the bit-generator state of the coordinator-side manager
+    stream at backend creation time, so the worker's manager draws exactly
+    the sequence the in-process backend would have drawn.
+    """
+
+    position: int
+    host_index: int
+    cpu_cores: int
+    memory_mib: int
+    allow_memory_overcommit: bool
+    rng_state: dict
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Blueprint of one worker process (picklable for any start method)."""
+
+    worker_index: int
+    hosts: tuple[HostSpec, ...]
+
+
+def _machine_id(meta: dict[str, Any]) -> MachineId:
+    return MachineId(meta["shell"], meta["identifier"], meta["name"])
+
+
+class _Worker:
+    """Dispatch loop state of one worker process."""
+
+    def __init__(self, spec: WorkerSpec, conn):
+        self.spec = spec
+        self.conn = conn
+        self.by_position: dict[int, MachineManager] = {}
+        self.by_host_index: dict[int, MachineManager] = {}
+        for host_spec in spec.hosts:
+            host = Host(
+                index=host_spec.host_index,
+                cpu_cores=host_spec.cpu_cores,
+                memory_mib=host_spec.memory_mib,
+                allow_memory_overcommit=host_spec.allow_memory_overcommit,
+            )
+            manager = MachineManager(host)
+            manager._rng.bit_generator.state = host_spec.rng_state
+            self.by_position[host_spec.position] = manager
+            self.by_host_index[host_spec.host_index] = manager
+        # Last epoch applied per manager: a worker owning several hosts may
+        # be mid-epoch (one slice applied, the next not), and recovery
+        # restores each manager to its own acknowledged epoch.
+        self.epochs = {host_spec.position: 0 for host_spec in spec.hosts}
+        self.deferred_errors: list[str] = []
+
+    # -- acknowledgements ---------------------------------------------------
+
+    def _ack(self, seq: int, extra: Optional[dict[str, Any]] = None) -> None:
+        meta = {
+            "seq": seq,
+            "epochs": dict(self.epochs),
+            "counters": {
+                position: manager.counters_snapshot()
+                for position, manager in self.by_position.items()
+            },
+        }
+        if self.deferred_errors:
+            meta["deferred_errors"] = list(self.deferred_errors)
+            self.deferred_errors.clear()
+        if extra:
+            meta.update(extra)
+        self.conn.send_bytes(wire.encode_frame(FrameKind.ACK, meta))
+
+    def _error(self, seq: int, error: BaseException) -> None:
+        self.conn.send_bytes(
+            wire.encode_frame(
+                FrameKind.ERROR,
+                {"seq": seq, "traceback": "".join(traceback.format_exception(error))},
+            )
+        )
+
+    # -- dispatch -----------------------------------------------------------
+
+    def run(self) -> None:
+        while True:
+            try:
+                data = self.conn.recv_bytes()
+            except (EOFError, OSError):
+                return
+            kind, meta, arrays = wire.decode_frame(data)
+            if kind is FrameKind.CRASH:
+                # Test hook: die like a killed process, no cleanup, no reply.
+                os._exit(17)
+            if kind is FrameKind.SHUTDOWN:
+                if "seq" in meta:
+                    self._ack(meta["seq"])
+                return
+            try:
+                extra = self._dispatch(kind, meta, arrays)
+            except BaseException as error:  # noqa: BLE001 - reported to the parent
+                if "seq" in meta:
+                    self._error(meta["seq"], error)
+                else:
+                    self.deferred_errors.append(
+                        f"{kind.name}: {type(error).__name__}: {error}"
+                    )
+                continue
+            if "seq" in meta:
+                self._ack(meta["seq"], extra)
+
+    def _dispatch(
+        self, kind: FrameKind, meta: dict[str, Any], arrays: list[np.ndarray]
+    ) -> Optional[dict[str, Any]]:
+        if kind is FrameKind.APPLY_SLICE:
+            position = meta["position"]
+            state_slice = wire.decode_slice(meta, arrays)
+            manager = self.by_position[position]
+            manager.apply_diff(state_slice, meta["now_s"])
+            self.epochs[position] = state_slice.epoch
+            reconciled = {}
+            for name in state_slice.dirty_active:
+                machine = manager.host.machines.get(name)
+                if machine is not None:
+                    reconciled[name] = machine.state.value
+            return {"reconciled": {position: reconciled}}
+        if kind is FrameKind.APPLY_ACTIVITY:
+            active, _time_s, epoch = wire.decode_activity(meta, arrays)
+            for position, manager in self.by_position.items():
+                manager.apply_activity(active, meta["now_s"])
+                self.epochs[position] = epoch
+            return None
+        if kind is FrameKind.SAMPLE_USAGE:
+            wanted = meta.get("positions")
+            samples = {}
+            for position, manager in sorted(self.by_position.items()):
+                if wanted is not None and position not in wanted:
+                    continue
+                sample = manager.sample_usage(
+                    meta["now_s"],
+                    setup_phase=meta["setup_phase"],
+                    applying_update=meta["applying_update"],
+                )
+                samples[position] = dataclasses.asdict(sample)
+            return {"samples": samples}
+        if kind is FrameKind.RESTORE:
+            position = meta["position"]
+            active = dict(zip(meta["shells"], arrays)) if meta["force_activity"] else None
+            self.by_position[position].restore_runtime_state(
+                active,
+                meta["snapshot"],
+                meta["now_s"],
+                skip=set(meta["skip"]),  # machine names are globally unique
+            )
+            self.epochs[position] = meta["epoch"]
+            return None
+        if kind is FrameKind.CREATE_MACHINE:
+            manager = self.by_position[meta["position"]]
+            manager.create_machine(
+                _machine_id(meta),
+                ComputeParams(**meta["compute"]),
+                kernel=meta["kernel"],
+                rootfs=meta["rootfs"],
+            )
+            return None
+        if kind is FrameKind.BOOT:
+            self.by_position[meta["position"]].boot(_machine_id(meta), meta["now_s"])
+            return None
+        if kind is FrameKind.BOOT_ALL:
+            self.by_position[meta["position"]].boot_all(meta["now_s"])
+            return None
+        if kind is FrameKind.STOP:
+            self.by_position[meta["position"]].stop_machine(
+                _machine_id(meta), meta["now_s"]
+            )
+            return None
+        if kind is FrameKind.REBOOT:
+            self.by_position[meta["position"]].reboot_machine(
+                _machine_id(meta), meta["now_s"]
+            )
+            return None
+        if kind is FrameKind.SET_CPU_QUOTA:
+            self.by_position[meta["position"]].set_cpu_quota(
+                _machine_id(meta), meta["quota_fraction"]
+            )
+            return None
+        if kind is FrameKind.SET_BUSY:
+            self.by_position[meta["position"]].set_busy_fraction(
+                _machine_id(meta), meta["fraction"]
+            )
+            return None
+        if kind is FrameKind.PING:
+            return None
+        raise ValueError(f"worker cannot handle frame kind {kind!r}")
+
+
+def worker_main(spec: WorkerSpec, conn) -> None:
+    """Child-process entrypoint: build the managers and serve the pipe."""
+    try:
+        _Worker(spec, conn).run()
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass

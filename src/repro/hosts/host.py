@@ -133,6 +133,20 @@ class Host:
         """microVM memory usage as a percentage of the host's memory."""
         return 100.0 * self.allocated_memory_mib() / self.memory_mib
 
+    @staticmethod
+    def sample_rng_draws(setup_phase: bool = False, applying_update: bool = False) -> int:
+        """Number of random variates one :meth:`sample_usage` call consumes.
+
+        Kept next to :meth:`sample_usage` because the two must evolve
+        together: a replica that mirrors a sampling host without sampling
+        itself (the coordinator-side shadow managers of
+        ``repro.dist.backend``) advances its RNG stream by exactly this many
+        draws to stay in lockstep.
+        """
+        if setup_phase:
+            return 1
+        return 2 if applying_update else 1
+
     def sample_usage(
         self,
         now_s: float,

@@ -10,6 +10,11 @@
   near-polar Walker-star, exercising the +GRID seam at scale).
 * :mod:`repro.scenarios.mixed` — a mixed-operator Starlink + Kuiper + OneWeb
   configuration stressing multi-shell uplink selection.
+* :mod:`repro.scenarios.telesat` — the Telesat Lightspeed hybrid (a polar
+  Walker-star shell plus an inclined Walker-delta shell, 298 satellites).
+* :mod:`repro.scenarios.degraded` — a degraded-operator scenario on top of
+  the mixed configuration: one operator's shell progressively loses ISLs
+  through the fault-injection API.
 * :mod:`repro.scenarios.west_africa` — the §4 meetup/video-conference
   deployment with clients in Accra, Abuja and Yaoundé and a cloud data centre
   in Johannesburg (Fig. 3).
@@ -33,6 +38,20 @@ from repro.scenarios.mixed import (
     MIXED_GROUND_STATIONS,
     mixed_operator_configuration,
 )
+from repro.scenarios.telesat import (
+    TELESAT_GROUND_STATIONS,
+    telesat_configuration,
+    telesat_inclined_shell,
+    telesat_polar_shell,
+    telesat_shells,
+    telesat_total_satellites,
+)
+from repro.scenarios.degraded import (
+    DEFAULT_VICTIM_SHELL,
+    OperatorDegradation,
+    degraded_operator_configuration,
+    victim_shell_index,
+)
 from repro.scenarios.west_africa import (
     CLIENT_LOCATIONS,
     CLOUD_LOCATION,
@@ -49,9 +68,13 @@ from repro.scenarios.pacific import (
 __all__ = [
     "CLIENT_LOCATIONS",
     "CLOUD_LOCATION",
+    "DEFAULT_VICTIM_SHELL",
     "MIXED_GROUND_STATIONS",
+    "OperatorDegradation",
     "PACIFIC_TSUNAMI_WARNING_CENTER",
+    "TELESAT_GROUND_STATIONS",
     "dart_configuration",
+    "degraded_operator_configuration",
     "generate_buoys",
     "generate_sinks",
     "iridium_shell",
@@ -64,6 +87,12 @@ __all__ = [
     "starlink_first_shell",
     "starlink_phase1_shells",
     "starlink_phase1_total_satellites",
+    "telesat_configuration",
+    "telesat_inclined_shell",
+    "telesat_polar_shell",
+    "telesat_shells",
+    "telesat_total_satellites",
+    "victim_shell_index",
     "west_africa_bounding_box",
     "west_africa_configuration",
 ]

@@ -1,0 +1,194 @@
+"""Wire-protocol round-trip tests for the distribution runtime.
+
+The contract under test: a :class:`HostStateSlice` (and every other frame
+payload) crosses the coordinator ↔ worker pipe **byte-identically** — same
+dtypes, same shapes, same payload bits — including empty slices and
+zero-length edge arrays, and frames from a different protocol generation
+are rejected before any payload is deserialised.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.machine_manager import HostStateSlice
+from repro.core.constellation import MachineId
+from repro.dist import wire
+from repro.dist.wire import (
+    WIRE_MAGIC,
+    WIRE_VERSION,
+    FrameKind,
+    WireError,
+    WireVersionError,
+    decode_frame,
+    encode_frame,
+)
+
+
+def _assert_bytes_identical(sent: np.ndarray, received: np.ndarray):
+    assert sent.dtype == received.dtype
+    assert sent.shape == received.shape
+    assert sent.tobytes() == received.tobytes()
+
+
+def _slice(
+    machine_count=5,
+    link_changes=3,
+    gst_names=("hawaii", "tahiti"),
+    activated=(),
+    deactivated=(),
+    dirty=None,
+):
+    rng = np.random.default_rng(7)
+    nodes = np.arange(machine_count, dtype=np.int64)
+    endpoints = rng.integers(0, 60, size=(link_changes, 2)).astype(np.int64)
+    return HostStateSlice(
+        host_index=2,
+        time_s=123.5,
+        epoch=9,
+        activated=tuple(activated),
+        deactivated=tuple(deactivated),
+        dirty_active=dict(dirty or {}),
+        machine_nodes=nodes,
+        links_added=endpoints,
+        added_delays_ms=rng.random(link_changes),
+        links_removed=endpoints[:1],
+        links_delay_changed=endpoints,
+        delay_changed_ms=rng.random(link_changes),
+        gst_delays_ms={name: rng.random(machine_count) for name in gst_names},
+        uplink_delays_ms={name: rng.random(machine_count) for name in gst_names},
+        uplink_bandwidths_kbps={name: rng.random(machine_count) for name in gst_names},
+    )
+
+
+def _roundtrip(state_slice: HostStateSlice) -> HostStateSlice:
+    kind, meta, arrays = decode_frame(wire.encode_slice(state_slice))
+    assert kind is FrameKind.APPLY_SLICE
+    return wire.decode_slice(meta, arrays)
+
+
+class TestFrameCodec:
+    def test_roundtrip_preserves_dtypes_shapes_and_bytes(self):
+        arrays = (
+            np.arange(12, dtype=np.int64).reshape(3, 4),
+            np.linspace(0.0, 1.0, 7),
+            np.array([], dtype=np.float32),
+            np.zeros((0, 2), dtype=np.int64),
+            np.array([True, False, True]),
+        )
+        meta = {"epoch": 3, "names": ["a", "b"], "nested": {"x": 1}}
+        kind, out_meta, out_arrays = decode_frame(
+            encode_frame(FrameKind.PING, meta, arrays)
+        )
+        assert kind is FrameKind.PING
+        assert out_meta == meta
+        assert len(out_arrays) == len(arrays)
+        for sent, received in zip(arrays, out_arrays):
+            _assert_bytes_identical(sent, received)
+
+    def test_non_contiguous_arrays_are_normalised(self):
+        matrix = np.arange(20, dtype=np.float64).reshape(4, 5)
+        transposed = matrix.T  # not C-contiguous
+        _, _, (received,) = decode_frame(encode_frame(FrameKind.PING, {}, (transposed,)))
+        assert np.array_equal(received, transposed)
+
+    def test_version_rejection_before_payload_decode(self):
+        frame = bytearray(encode_frame(FrameKind.PING, {"x": 1}))
+        # The version is the u16 right after the 4-byte magic.
+        frame[4:6] = (WIRE_VERSION + 1).to_bytes(2, "little")
+        with pytest.raises(WireVersionError, match="version"):
+            decode_frame(bytes(frame))
+
+    def test_bad_magic_rejected(self):
+        frame = bytearray(encode_frame(FrameKind.PING, {}))
+        frame[:4] = b"NOPE"
+        with pytest.raises(WireError, match="magic"):
+            decode_frame(bytes(frame))
+        assert WIRE_MAGIC != b"NOPE"
+
+    def test_truncated_frames_rejected(self):
+        frame = encode_frame(FrameKind.PING, {"k": "v"}, (np.arange(8),))
+        with pytest.raises(WireError):
+            decode_frame(frame[:6])
+        with pytest.raises(WireError):
+            decode_frame(frame[:-3])
+
+    def test_trailing_garbage_rejected(self):
+        frame = encode_frame(FrameKind.PING, {}, (np.arange(4),))
+        with pytest.raises(WireError, match="trailing"):
+            decode_frame(frame + b"\x00")
+
+
+class TestSliceCodec:
+    def test_typical_slice_roundtrips_byte_identically(self):
+        activated = (MachineId(0, 4, "4.0.celestial"), MachineId(1, 9, "9.1.celestial"))
+        deactivated = (MachineId(0, 2, "2.0.celestial"),)
+        sent = _slice(
+            activated=activated,
+            deactivated=deactivated,
+            dirty={"4.0.celestial": True, "11.0.celestial": False},
+        )
+        received = _roundtrip(sent)
+        assert received.host_index == sent.host_index
+        assert received.time_s == sent.time_s
+        assert received.epoch == sent.epoch
+        assert received.activated == sent.activated
+        assert received.deactivated == sent.deactivated
+        assert received.dirty_active == sent.dirty_active
+        for field in (
+            "machine_nodes",
+            "links_added",
+            "added_delays_ms",
+            "links_removed",
+            "links_delay_changed",
+            "delay_changed_ms",
+        ):
+            _assert_bytes_identical(getattr(sent, field), getattr(received, field))
+        for mapping in ("gst_delays_ms", "uplink_delays_ms", "uplink_bandwidths_kbps"):
+            sent_map, received_map = getattr(sent, mapping), getattr(received, mapping)
+            assert list(sent_map) == list(received_map)
+            for name in sent_map:
+                _assert_bytes_identical(sent_map[name], received_map[name])
+
+    def test_empty_slice_roundtrips(self):
+        # A host with no machines on a quiet epoch: every array is empty,
+        # every mapping too.
+        sent = _slice(machine_count=0, link_changes=0, gst_names=())
+        received = _roundtrip(sent)
+        assert received.machine_nodes.size == 0
+        assert received.machine_nodes.dtype == np.int64
+        assert received.links_added.shape == (0, 2)
+        assert received.activated == () and received.deactivated == ()
+        assert received.gst_delays_ms == {}
+        assert received.link_change_count == 0
+        assert received.activity_change_count == 0
+
+    def test_zero_length_edge_arrays_keep_shape_and_dtype(self):
+        sent = _slice(machine_count=4, link_changes=0)
+        received = _roundtrip(sent)
+        for field in ("links_added", "links_removed", "links_delay_changed"):
+            assert getattr(received, field).shape[0] == 0
+            assert getattr(received, field).dtype == np.int64
+        assert received.added_delays_ms.size == 0
+        assert received.delay_changed_ms.size == 0
+
+    def test_per_gst_delay_vectors_with_inf(self):
+        sent = _slice(machine_count=6)
+        sent.gst_delays_ms["hawaii"][2] = np.inf
+        sent.uplink_delays_ms["tahiti"][:] = np.inf
+        received = _roundtrip(sent)
+        _assert_bytes_identical(sent.gst_delays_ms["hawaii"], received.gst_delays_ms["hawaii"])
+        assert np.all(np.isinf(received.uplink_delays_ms["tahiti"]))
+
+    def test_activity_payload_roundtrip(self):
+        masks = {
+            0: np.array([True, False, True]),
+            1: np.zeros(0, dtype=bool),
+            2: np.ones(5, dtype=bool),
+        }
+        kind, meta, arrays = decode_frame(wire.encode_activity(masks, 42.0, 7))
+        assert kind is FrameKind.APPLY_ACTIVITY
+        received, time_s, epoch = wire.decode_activity(meta, arrays)
+        assert time_s == 42.0 and epoch == 7
+        assert list(received) == [0, 1, 2]
+        for shell, mask in masks.items():
+            _assert_bytes_identical(mask, received[shell])

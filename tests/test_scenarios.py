@@ -3,12 +3,15 @@
 import numpy as np
 import pytest
 
-from repro.core import ConstellationCalculation, validate_configuration
+from repro.core import Celestial, ConstellationCalculation, validate_configuration
 from repro.scenarios import (
     CLIENT_LOCATIONS,
     MIXED_GROUND_STATIONS,
     PACIFIC_TSUNAMI_WARNING_CENTER,
+    OperatorDegradation,
+    TELESAT_GROUND_STATIONS,
     dart_configuration,
+    degraded_operator_configuration,
     generate_buoys,
     generate_sinks,
     iridium_shell,
@@ -21,8 +24,12 @@ from repro.scenarios import (
     starlink_first_shell,
     starlink_phase1_shells,
     starlink_phase1_total_satellites,
-    west_africa_bounding_box,
+    telesat_configuration,
+    telesat_shells,
+    telesat_total_satellites,
+    victim_shell_index,
     west_africa_configuration,
+    west_africa_bounding_box,
 )
 
 
@@ -214,3 +221,130 @@ class TestPacific:
     def test_invalid_deployment(self):
         with pytest.raises(ValueError):
             dart_configuration(deployment="fog")
+
+
+class TestTelesat:
+    def test_hybrid_composition(self):
+        polar, inclined = telesat_shells()
+        assert polar.geometry.total_satellites == 78
+        assert inclined.geometry.total_satellites == 220
+        assert telesat_total_satellites() == 298
+        # The defining property: one operator mixing both Walker patterns.
+        assert polar.geometry.is_polar_star
+        assert not inclined.geometry.is_polar_star
+        assert polar.geometry.inclination_deg == pytest.approx(98.98)
+        assert inclined.geometry.inclination_deg == pytest.approx(50.88)
+        assert polar.geometry.altitude_km < inclined.geometry.altitude_km
+
+    def test_configuration(self):
+        config = telesat_configuration(duration_s=60.0)
+        assert [shell.name for shell in config.shells] == [
+            "telesat-polar",
+            "telesat-inclined",
+        ]
+        assert config.total_satellites == 298
+        assert set(config.ground_station_names) == set(TELESAT_GROUND_STATIONS)
+        assert isinstance(validate_configuration(config), list)
+
+    def test_coverage_split_between_shells(self):
+        # Alert (82.5 N) lies beyond the inclined shell's ~76 N footprint
+        # edge, so its uplinks can only come from the polar star shell; the
+        # equatorial and mid-latitude stations must be served.
+        config = telesat_configuration(duration_s=60.0)
+        state = ConstellationCalculation(config).state_at(0.0)
+        alert_shells = {u.shell for u in state.uplinks_of("alert")}
+        assert alert_shells == {0}
+        assert state.uplinks_of("singapore")
+        assert state.uplinks_of("ottawa")
+
+
+def _small_degraded_testbed():
+    """A scaled-down two-operator testbed for the degradation machinery."""
+    from repro.core import (
+        ComputeParams,
+        Configuration,
+        GroundStationConfig,
+        HostConfig,
+        NetworkParams,
+        ShellConfig,
+    )
+    from repro.orbits import GroundStation, ShellGeometry
+
+    compute = ComputeParams(vcpu_count=1, memory_mib=256)
+    config = Configuration(
+        shells=(
+            ShellConfig(
+                name="healthy",
+                geometry=ShellGeometry(6, 11, 780.0, 86.4, 180.0),
+                network=NetworkParams(min_elevation_deg=8.2),
+                compute=compute,
+            ),
+            ShellConfig(
+                name="oneweb",
+                geometry=ShellGeometry(6, 6, 1200.0, 87.9, 180.0),
+                network=NetworkParams(min_elevation_deg=15.0),
+                compute=compute,
+            ),
+        ),
+        ground_stations=(
+            GroundStationConfig(
+                station=GroundStation("hawaii", 21.3, -157.9), compute=compute
+            ),
+        ),
+        hosts=HostConfig(count=2, cpu_cores=32, memory_mib=64 * 1024),
+        update_interval_s=30.0,
+        duration_s=300.0,
+    )
+    return Celestial(config)
+
+
+class TestDegradedOperator:
+    def test_configuration_names_victim(self):
+        config, victim = degraded_operator_configuration(duration_s=60.0)
+        assert config.shells[victim].name == "oneweb"
+        assert config.total_satellites == 1584 + 1156 + 648
+        with pytest.raises(ValueError):
+            victim_shell_index(config, "nonexistent")
+
+    def test_progressive_isl_loss_via_fault_injection(self):
+        testbed = _small_degraded_testbed()
+        victim = victim_shell_index(testbed.config)
+        degradation = OperatorDegradation(
+            testbed, victim, isls_per_step=5, interval_s=30.0, target_fraction=0.4
+        )
+        testbed.start()
+        testbed.sim.process(degradation.process())
+        testbed.run(until=240.0)
+        # The cascade ran and every severed pair is an intra-victim ISL.
+        assert degradation.steps
+        assert len(degradation.severed) >= 5
+        span = testbed.state.node_index.satellites_of_shell(victim)
+        for node_a, node_b in degradation.severed:
+            assert node_a in span and node_b in span
+        # Severed ISLs are applied through the fault-injection API: the
+        # network carries a total-loss override in both directions and the
+        # injector logged the events.
+        loss_events = [
+            event
+            for event in testbed.fault_injector.events
+            if event.kind == "packet-loss"
+        ]
+        assert len(loss_events) == 2 * len(degradation.severed)
+        # Monotone progress up to the target fraction.
+        totals = [step.total_severed for step in degradation.steps]
+        assert totals == sorted(totals)
+        assert degradation.done or degradation.steps[-1].remaining_intact == 0
+        # Every injected loss targets the victim shell, so the healthy
+        # operator's shell is untouched.
+        for event in loss_events:
+            source, _, destination = event.machine.partition("->")
+            for name in (source, destination):
+                _identifier, shell, _ = name.split(".", 2)
+                assert int(shell) == victim
+
+    def test_rejects_invalid_parameters(self):
+        testbed = _small_degraded_testbed()
+        with pytest.raises(ValueError):
+            OperatorDegradation(testbed, 1, target_fraction=0.0)
+        with pytest.raises(ValueError):
+            OperatorDegradation(testbed, 1, isls_per_step=0)
