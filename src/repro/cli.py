@@ -11,6 +11,7 @@ Usage (installed as ``repro-celestial``)::
     repro-celestial meetup --mode satellite --duration 60
     repro-celestial dart --deployment central --buoys 20 --sinks 40 --duration 60
     repro-celestial dart --deployment central --parallelism processes --workers 4
+    repro-celestial dart --parallelism processes --workers 2 --transport tcp
     repro-celestial handover config.toml --station hawaii --duration 600
     repro-celestial cost --minutes 15
 """
@@ -88,7 +89,8 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
 def _cmd_meetup(args: argparse.Namespace) -> int:
     config = west_africa_configuration(duration_s=args.duration, shells=args.shells,
                                        seed=args.seed)
-    testbed = Celestial(config, parallelism=args.parallelism, worker_count=args.workers)
+    testbed = Celestial(config, parallelism=args.parallelism, worker_count=args.workers,
+                        transport=args.transport)
     experiment = MeetupExperiment(
         testbed,
         mode=args.mode,
@@ -120,7 +122,8 @@ def _cmd_dart(args: argparse.Namespace) -> int:
         duration_s=args.duration,
         seed=args.seed,
     )
-    testbed = Celestial(config, parallelism=args.parallelism, worker_count=args.workers)
+    testbed = Celestial(config, parallelism=args.parallelism, worker_count=args.workers,
+                        transport=args.transport)
     experiment = DartExperiment(testbed, deployment=args.deployment,
                                 group_count=max(2, args.buoys // 5))
     try:
@@ -180,6 +183,14 @@ def _add_parallelism_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="worker-process count for --parallelism processes "
         "(default: one per emulated host)",
+    )
+    parser.add_argument(
+        "--transport",
+        choices=["pipe", "tcp"],
+        default="pipe",
+        help="worker transport for --parallelism processes: local duplex "
+        "pipes (default) or per-worker TCP connections (the remote-worker "
+        "wire path, exercised here over localhost)",
     )
 
 

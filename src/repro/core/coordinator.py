@@ -54,7 +54,11 @@ Since PR 4 *where* the slices are applied is a backend decision
   and usage samples / counters / dirty-machine reconciliation results
   stream back.  The coordinator keeps in-process *shadow* managers for
   placement and parent-side queries; crashed workers are respawned and
-  replayed from the database's keyframe + diff chain.
+  replayed from the database's keyframe + diff chain.  ``transport``
+  selects how the frames travel: local duplex pipes (``"pipe"``, default)
+  or per-worker TCP connections (``"tcp"``) — the latter also accepts
+  operator-started workers on other machines, like the paper's testbed
+  (see :mod:`repro.dist.transport`).
 
 Both backends are driven through the same four calls (``apply_slices``,
 ``apply_full_state``, ``sample_all``, ``close``), so everything above this
@@ -128,6 +132,7 @@ class Coordinator:
         parallelism: Literal["threads", "processes"] = "threads",
         worker_count: Optional[int] = None,
         mp_context=None,
+        transport="pipe",
     ):
         self.config = config
         self.calculation = calculation
@@ -142,9 +147,20 @@ class Coordinator:
             from repro.dist.backend import ProcessFanoutBackend
 
             self._backend = ProcessFanoutBackend(
-                managers, database, worker_count=worker_count, mp_context=mp_context
+                managers,
+                database,
+                worker_count=worker_count,
+                mp_context=mp_context,
+                transport=transport,
             )
         elif parallelism == "threads":
+            if transport not in (None, "pipe"):
+                # Silently running in-process after the user asked for a
+                # worker transport would fake a passing remote-path test.
+                raise ValueError(
+                    f"transport={transport!r} requires parallelism='processes' "
+                    "(the thread backend has no workers to transport to)"
+                )
             from repro.dist.backend import ThreadFanoutBackend
 
             self._backend = ThreadFanoutBackend(managers, concurrent=concurrent_fanout)

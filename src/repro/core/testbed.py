@@ -38,6 +38,7 @@ class Celestial:
         allow_memory_overcommit: bool = True,
         parallelism: Literal["threads", "processes"] = "threads",
         worker_count: Optional[int] = None,
+        transport="pipe",
     ):
         self.config = config
         self.sim = Simulation()
@@ -76,6 +77,7 @@ class Celestial:
             self.network,
             parallelism=parallelism,
             worker_count=worker_count,
+            transport=transport,
         )
         # With the process backend the coordinator hands out mirrored
         # managers (in-process shadows + worker forwarding); use those for

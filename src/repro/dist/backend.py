@@ -254,7 +254,15 @@ class MirroredManager:
 
 
 class ProcessFanoutBackend(FanoutBackend):
-    """Supervised worker processes behind the coordinator's fan-out seam."""
+    """Supervised worker processes behind the coordinator's fan-out seam.
+
+    ``transport`` selects how frames reach the workers: ``"pipe"`` (local
+    duplex pipes, the default), ``"tcp"`` (length-prefixed frames over
+    per-worker TCP connections), or a ready
+    :class:`~repro.dist.transport.TransportFactory` instance — e.g. an
+    external-mode :class:`~repro.dist.transport.TcpTransportFactory` whose
+    workers are started by hand on other machines.
+    """
 
     parallelism = "processes"
 
@@ -266,6 +274,8 @@ class ProcessFanoutBackend(FanoutBackend):
         mp_context=None,
         max_restarts: int = 3,
         ack_timeout_s: float = 120.0,
+        restart_decay_acks: int = 64,
+        transport="pipe",
     ):
         self._shadows = list(managers)
         self._database = database
@@ -304,6 +314,8 @@ class ProcessFanoutBackend(FanoutBackend):
             mp_context=mp_context,
             max_restarts=max_restarts,
             ack_timeout_s=ack_timeout_s,
+            restart_decay_acks=restart_decay_acks,
+            transport=transport,
         )
         self._proxies = [
             MirroredManager(shadow, self, position)

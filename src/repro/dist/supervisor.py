@@ -1,7 +1,11 @@
 """Supervision of the worker-process pool: spawn, heartbeat, crash recovery.
 
-The supervisor owns one pipe + process pair per :class:`~repro.dist.worker.
-WorkerSpec` and gives the fan-out backend three primitives:
+The supervisor owns one transport (+ process, when locally spawned) per
+:class:`~repro.dist.worker.WorkerSpec` — obtained from a
+:class:`~repro.dist.transport.TransportFactory`, so the same supervision,
+ledger-replay and restore logic drives pipe-connected local processes,
+TCP-connected local processes and operator-started remote workers — and
+gives the fan-out backend three primitives:
 
 * :meth:`WorkerSupervisor.post` — fire-and-forget control frames (machine
   creations, fault-injection ops).  Durable posts are journalled in a
@@ -20,9 +24,12 @@ WorkerSpec` and gives the fan-out backend three primitives:
 Crash recovery
 --------------
 
-A worker crash is detected three ways: a broken/EOF pipe while sending or
-collecting, a heartbeat sweep finding the process dead, or an ack wait
-observing process exit.  Recovery then proceeds in three steps:
+A worker crash is detected four ways: a broken/EOF transport while sending
+or collecting, a heartbeat sweep finding the process dead, an ack wait
+observing process exit, or — for a worker that *wedges while staying
+alive* — the ``ack_timeout_s`` receive deadline expiring (routed into the
+same recovery path as a hard crash; the wedged process is killed before its
+successor spawns).  Recovery then proceeds in three steps:
 
 1. **Respawn** a fresh process from the original spec (same host blueprint,
    same initial RNG states).
@@ -42,7 +49,11 @@ observing process exit.  Recovery then proceeds in three steps:
 The in-flight request that observed the crash is then re-sent: the restored
 worker is at the checkpoint epoch, so re-applying the current epoch's slice
 produces the same transitions (and counter increments) the uncrashed worker
-would have produced.  Restarts are bounded by ``max_restarts`` per worker.
+would have produced.  Restarts are bounded by ``max_restarts`` per worker —
+but the budget *decays*: after ``restart_decay_acks`` healthy acknowledged
+requests the counter resets to zero, so transient crashes spread over a
+long-running sim never add up to a fatal budget exhaustion, while a crash
+loop (which never stays healthy long enough to decay) still hits the bound.
 """
 
 from __future__ import annotations
@@ -57,12 +68,21 @@ from typing import Any, Callable, Optional
 import numpy as np
 
 from repro.dist import wire
+from repro.dist.transport import TransportTimeout, make_transport_factory
 from repro.dist.wire import FrameKind
-from repro.dist.worker import WorkerSpec, worker_main
+from repro.dist.worker import WorkerSpec
 
 
 class WorkerCrashError(RuntimeError):
-    """A worker process died (detected via pipe, heartbeat or exit code)."""
+    """A worker died (detected via transport, heartbeat, exit or timeout)."""
+
+
+class WorkerTimeoutError(WorkerCrashError):
+    """A live worker failed to acknowledge within ``ack_timeout_s``.
+
+    Subclasses :class:`WorkerCrashError` so a wedged-but-alive worker takes
+    the same kill/respawn/replay path as a dead one.
+    """
 
 
 class WorkerRemoteError(RuntimeError):
@@ -94,6 +114,10 @@ class _Handle:
         self.checkpoint: Optional[dict[str, Any]] = None
         self.inflight: deque[tuple[int, bytes]] = deque()
         self.restarts = 0
+        # Healthy acknowledged requests since the last restart; at
+        # ``restart_decay_acks`` the restart budget resets (transient
+        # crashes over a long run must not accumulate into a death).
+        self.healthy_acks = 0
         # Set when a send observed a broken pipe: recovery is deferred to
         # the next collect/heartbeat so that every frame of the current
         # epoch is already queued in ``inflight`` when the worker is rebuilt
@@ -112,13 +136,17 @@ class WorkerSupervisor:
         mp_context=None,
         max_restarts: int = 3,
         ack_timeout_s: float = 120.0,
+        restart_decay_acks: int = 64,
+        transport="pipe",
     ):
         self._handles = [_Handle(spec) for spec in specs]
         self._database = database
         self._dirty_resolver = dirty_resolver
         self._ctx = mp_context if mp_context is not None else default_context()
+        self._factory = make_transport_factory(transport)
         self.max_restarts = max_restarts
         self.ack_timeout_s = ack_timeout_s
+        self.restart_decay_acks = restart_decay_acks
         self.restart_count = 0
         self._started = False
         self._closed = False
@@ -147,18 +175,16 @@ class WorkerSupervisor:
             self._spawn(handle)
         atexit.register(self.close)
 
+    @property
+    def transport_name(self) -> str:
+        """The transport backend in use (``"pipe"`` or ``"tcp"``)."""
+        return self._factory.name
+
     def _spawn(self, handle: _Handle) -> None:
-        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-        process = self._ctx.Process(
-            target=worker_main,
-            args=(handle.spec, child_conn),
-            name=f"celestial-worker-{handle.spec.worker_index}",
-            daemon=True,
-        )
-        process.start()
-        child_conn.close()
-        handle.process = process
-        handle.conn = parent_conn
+        # ``process`` is None for externally placed workers: the factory
+        # then only accepts the (re)connection — liveness checks fall back
+        # to EOF detection and the receive timeout.
+        handle.process, handle.conn = self._factory.spawn(handle.spec, self._ctx)
 
     def close(self) -> None:
         """Join/kill every worker deterministically (idempotent).
@@ -170,27 +196,30 @@ class WorkerSupervisor:
         """
         if self._closed or not self._started:
             self._closed = True
+            self._factory.close()
             return
         self._closed = True
         for handle in self._handles:
-            if handle.process is None:
+            if handle.conn is None:
                 continue
             try:
-                if handle.process.is_alive():
+                if handle.process is None or handle.process.is_alive():
                     handle.conn.send_bytes(wire.encode_frame(FrameKind.SHUTDOWN, {}))
             except (OSError, BrokenPipeError, ValueError):
                 pass
-            handle.process.join(timeout=2.0)
-            if handle.process.is_alive():
-                handle.process.terminate()
-                handle.process.join(timeout=1.0)
-            if handle.process.is_alive():  # pragma: no cover - last resort
-                handle.process.kill()
-                handle.process.join(timeout=1.0)
+            if handle.process is not None:
+                handle.process.join(timeout=2.0)
+                if handle.process.is_alive():
+                    handle.process.terminate()
+                    handle.process.join(timeout=1.0)
+                if handle.process.is_alive():  # pragma: no cover - last resort
+                    handle.process.kill()
+                    handle.process.join(timeout=1.0)
             try:
                 handle.conn.close()
             except OSError:
                 pass
+        self._factory.close()
         try:
             atexit.unregister(self.close)
         except Exception:  # pragma: no cover - interpreter teardown
@@ -270,13 +299,24 @@ class WorkerSupervisor:
             try:
                 if handle.dead:
                     raise WorkerCrashError(
-                        f"worker {handle.spec.worker_index} pipe broke mid-send"
+                        f"worker {handle.spec.worker_index} transport broke mid-send"
                     )
                 meta = self._await_ack(handle, handle.inflight[0][0])
                 handle.inflight.popleft()
+                self._note_healthy(handle)
                 return meta
             except WorkerCrashError:
                 self._recover(handle)  # re-sends every in-flight frame
+
+    def _note_healthy(self, handle: _Handle) -> None:
+        # Only *request* acknowledgements count as health evidence: the
+        # restore acks of a freshly rebuilt worker must not decay the budget
+        # (a crash loop that always survives its own restore would then
+        # never exhaust it).
+        handle.healthy_acks += 1
+        if handle.restarts and handle.healthy_acks >= self.restart_decay_acks:
+            handle.restarts = 0
+            handle.healthy_acks = 0
 
     def request(
         self,
@@ -292,23 +332,46 @@ class WorkerSupervisor:
     def _await_ack(self, handle: _Handle, seq: int) -> dict[str, Any]:
         deadline = time.monotonic() + self.ack_timeout_s
         while not handle.conn.poll(0.05):
-            if not handle.process.is_alive():
+            if handle.process is not None and not handle.process.is_alive():
                 raise WorkerCrashError(
                     f"worker {handle.spec.worker_index} died "
                     f"(exit code {handle.process.exitcode})"
                 )
             if time.monotonic() > deadline:
-                raise TimeoutError(
+                # The worker is alive (or unobservable, when external) but
+                # silent: treat the wedge as a crash so recovery kills and
+                # rebuilds it instead of hanging the epoch forever.
+                raise WorkerTimeoutError(
                     f"worker {handle.spec.worker_index} did not acknowledge "
                     f"frame {seq} within {self.ack_timeout_s:.0f}s"
                 )
         try:
-            data = handle.conn.recv_bytes()
+            # The remaining deadline bounds the receive itself too: a peer
+            # that wedges mid-frame (or a stream stalled after the length
+            # prefix) cannot block past ack_timeout_s.
+            data = handle.conn.recv_bytes(
+                timeout=max(0.05, deadline - time.monotonic())
+            )
+        except (TransportTimeout, TimeoutError) as error:
+            raise WorkerTimeoutError(
+                f"worker {handle.spec.worker_index} stalled mid-frame while "
+                f"acknowledging frame {seq}: {error}"
+            ) from error
         except (EOFError, OSError) as error:
             raise WorkerCrashError(
-                f"worker {handle.spec.worker_index} pipe closed: {error}"
+                f"worker {handle.spec.worker_index} transport closed: {error}"
             ) from error
-        kind, meta, _arrays = wire.decode_frame(data)
+        try:
+            kind, meta, _arrays = wire.decode_frame(data)
+        except wire.WireVersionError:
+            raise  # version skew is fatal: a restart cannot fix the build
+        except wire.WireError as error:
+            # A corrupt frame means the stream itself can no longer be
+            # trusted; tear the worker down and rebuild it.
+            raise WorkerCrashError(
+                f"worker {handle.spec.worker_index} sent a malformed frame: "
+                f"{error}"
+            ) from error
         if kind is FrameKind.ERROR:
             raise WorkerRemoteError(
                 f"worker {handle.spec.worker_index} failed:\n{meta['traceback']}"
@@ -366,22 +429,32 @@ class WorkerSupervisor:
         while True:
             handle.restarts += 1
             self.restart_count += 1
+            handle.healthy_acks = 0
             if handle.restarts > self.max_restarts:
                 raise WorkerCrashError(
                     f"worker {handle.spec.worker_index} exceeded "
                     f"{self.max_restarts} restarts"
                 )
             if handle.process is not None:
-                if handle.process.is_alive():  # pragma: no cover - defensive
+                # Wedged workers are still alive — the receive timeout, not
+                # process death, routed us here — so the kill is load-
+                # bearing, not merely defensive.
+                if handle.process.is_alive():
                     handle.process.kill()
                 handle.process.join(timeout=5.0)
+            if handle.conn is not None:
                 try:
                     handle.conn.close()
                 except OSError:
                     pass
-            self._spawn(handle)
-            handle.dead = False
+            handle.dead = True
             try:
+                # The spawn itself retries under the same budget: a TCP
+                # successor can fail its accept/handshake (or an external
+                # worker may take a while to be relaunched) just like a pipe
+                # successor can die mid-replay.
+                self._spawn(handle)
+                handle.dead = False
                 for frame in handle.ledger:
                     handle.conn.send_bytes(frame)
                 self._restore(handle)

@@ -1,0 +1,487 @@
+"""The transport seam between the worker supervisor and its workers.
+
+The paper's testbed runs hosts on *remote* machines; PR 4's worker processes
+only spoke over local :mod:`multiprocessing` pipes.  This module separates
+*what* travels (``repro.dist.wire`` frames) from *how* it travels — in the
+spirit of RAFDA's separation of application logic from distribution policy —
+behind two small abstractions:
+
+* :class:`Transport` — one established, bidirectional, message-oriented
+  channel to a worker.  The API mirrors the subset of
+  :class:`multiprocessing.connection.Connection` the supervisor and worker
+  already use (``send_bytes`` / ``recv_bytes`` / ``poll`` / ``close``), so
+  the framing, supervision and recovery code is transport-agnostic.
+
+  - :class:`PipeTransport` wraps a duplex pipe ``Connection`` (the default,
+    byte-for-byte the PR 4 behaviour).
+  - :class:`SocketTransport` speaks length-prefixed frames over a TCP
+    stream: a little-endian ``u32`` byte count followed by the wire frame.
+    Receives take an optional deadline, so a peer that wedges mid-frame
+    raises :class:`TransportTimeout` instead of hanging the supervisor.
+
+* :class:`TransportFactory` — how a supervisor *obtains* a transport for a
+  worker spec, called once at start and again after every crash:
+
+  - :class:`PipeTransportFactory` creates a pipe pair and forks/spawns the
+    worker process with its spec as process arguments.
+  - :class:`TcpTransportFactory` binds one persistent listener per worker
+    (so a restarted worker reconnects to the *same* address) and performs a
+    connect/accept handshake: the worker's first frame is ``HELLO`` carrying
+    its worker index (the frame header itself carries ``WIRE_VERSION``, so
+    an incompatible peer is rejected before anything else is read), and the
+    supervisor answers with a ``SPEC`` frame holding the
+    :class:`~repro.dist.worker.WorkerSpec` — the worker builds its managers
+    from the wire, not from process arguments, so the same code path serves
+    a supervisor-spawned localhost worker and a worker started by hand on
+    another machine (``python -m repro.dist.worker --connect host:port``).
+    With ``external=True`` the factory never spawns anything: it waits for
+    an operator-started worker to connect (and, after a crash, reconnect).
+
+Connection-loss semantics match pipes everywhere: a clean peer close raises
+``EOFError`` from ``recv_bytes``, a broken send raises ``OSError`` — the
+supervisor's crash detection and the worker's exit path work unchanged.
+"""
+
+from __future__ import annotations
+
+import select
+import socket
+import struct
+import time
+from typing import Any, Optional
+
+from repro.dist import wire
+from repro.dist.wire import FrameKind
+
+#: Upper bound on one length-prefixed frame (1 GiB).  A full-Starlink slice
+#: is a few MiB; anything near this bound is stream corruption, not data.
+MAX_FRAME_BYTES = 1 << 30
+
+_LENGTH_PREFIX = struct.Struct("<I")
+
+
+class TransportError(OSError):
+    """The transport channel failed (framing corruption, broken stream)."""
+
+
+class TransportTimeout(TransportError, TimeoutError):
+    """A receive did not complete within its deadline."""
+
+
+class HandshakeError(TransportError):
+    """A connecting worker failed the HELLO handshake."""
+
+
+class Transport:
+    """One established channel to a worker (documentation base class)."""
+
+    def send_bytes(self, data: bytes) -> None:
+        """Send one complete message."""
+        raise NotImplementedError
+
+    def recv_bytes(self, timeout: Optional[float] = None) -> bytes:
+        """Receive one complete message.
+
+        ``timeout=None`` blocks forever.  Raises :class:`TransportTimeout`
+        when the deadline passes, ``EOFError`` when the peer closed.  For
+        sockets the deadline also covers a peer that stalls *mid-message*;
+        for pipes it has message granularity (see :class:`PipeTransport`).
+        """
+        raise NotImplementedError
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        """Whether a message (or EOF) is ready within ``timeout`` seconds."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Close the channel (idempotent)."""
+        raise NotImplementedError
+
+
+class PipeTransport(Transport):
+    """A duplex :mod:`multiprocessing` pipe behind the transport API.
+
+    Picklable through :mod:`multiprocessing` process arguments (the wrapped
+    ``Connection`` carries its own reduction), so the child receives the
+    same object the factory built.
+    """
+
+    def __init__(self, conn):
+        self.conn = conn
+
+    def send_bytes(self, data: bytes) -> None:
+        self.conn.send_bytes(data)
+
+    def recv_bytes(self, timeout: Optional[float] = None) -> bytes:
+        # Connection has no deadline on an in-flight read, so the poll
+        # below bounds the wait at message granularity: a worker that
+        # wedges *between* messages (the realistic failure — a deadlock or
+        # busy loop never starts the ack) is caught; a local peer stopped
+        # midway through writing a message larger than the pipe buffer
+        # could still block past the deadline.  The TCP transport bounds
+        # that case too; pipes trade it for zero-copy kernel framing.
+        if timeout is not None and not self.conn.poll(timeout):
+            raise TransportTimeout(
+                f"no message arrived on the pipe within {timeout:.1f}s"
+            )
+        return self.conn.recv_bytes()
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        return self.conn.poll(timeout)
+
+    def close(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+class SocketTransport(Transport):
+    """Length-prefixed wire frames over one connected TCP socket."""
+
+    def __init__(self, sock: socket.socket):
+        try:
+            # Acks are small and latency-sensitive; don't let Nagle batch
+            # them.  Best-effort: AF_UNIX stream sockets have no such knob.
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+        sock.setblocking(True)
+        self._sock = sock
+        self._closed = False
+
+    def send_bytes(self, data: bytes) -> None:
+        if len(data) > MAX_FRAME_BYTES:
+            raise TransportError(
+                f"refusing to send a {len(data)}-byte frame "
+                f"(limit {MAX_FRAME_BYTES})"
+            )
+        self._sock.sendall(_LENGTH_PREFIX.pack(len(data)) + data)
+
+    def recv_bytes(self, timeout: Optional[float] = None) -> bytes:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        try:
+            prefix = self._recv_exact(_LENGTH_PREFIX.size, deadline)
+            (length,) = _LENGTH_PREFIX.unpack(prefix)
+            if length > MAX_FRAME_BYTES:
+                raise TransportError(
+                    f"frame length prefix {length} exceeds the "
+                    f"{MAX_FRAME_BYTES}-byte limit (stream corruption?)"
+                )
+            return self._recv_exact(length, deadline)
+        finally:
+            # The per-chunk deadline budgets must not leak into later
+            # blocking receives or sends (sendall inherits the socket
+            # timeout, and a partially timed-out send corrupts the stream).
+            try:
+                self._sock.settimeout(None)
+            except OSError:  # pragma: no cover - closed concurrently
+                pass
+
+    def _recv_exact(self, count: int, deadline: Optional[float]) -> bytes:
+        chunks = []
+        remaining = count
+        while remaining:
+            if deadline is not None:
+                budget = deadline - time.monotonic()
+                if budget <= 0:
+                    raise TransportTimeout(
+                        f"receive deadline passed with {remaining} of "
+                        f"{count} bytes outstanding"
+                    )
+                self._sock.settimeout(budget)
+            else:
+                self._sock.settimeout(None)
+            try:
+                chunk = self._sock.recv(min(remaining, 1 << 20))
+            except socket.timeout as error:
+                raise TransportTimeout(
+                    f"receive deadline passed with {remaining} of "
+                    f"{count} bytes outstanding"
+                ) from error
+            if not chunk:
+                raise EOFError(
+                    "connection closed mid-frame"
+                    if chunks or count != remaining
+                    else "connection closed"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        if self._closed:
+            return True  # a read will raise EOF/OSError immediately
+        readable, _, _ = select.select([self._sock], [], [], max(0.0, timeout))
+        return bool(readable)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+# -- connect / accept handshake ----------------------------------------------
+
+
+def connect_transport(
+    host: str,
+    port: int,
+    worker_index: int,
+    timeout_s: float = 30.0,
+) -> tuple[Any, SocketTransport]:
+    """Worker side: dial the supervisor, handshake, receive the spec.
+
+    Retries the TCP connect until ``timeout_s`` (the supervisor may still be
+    binding its listeners, or — after a crash — still tearing down the dead
+    predecessor), then sends ``HELLO`` with this worker's index and waits
+    for the answering ``SPEC`` frame.  Returns ``(worker_spec, transport)``.
+    """
+    deadline = time.monotonic() + timeout_s
+    while True:
+        budget = max(0.05, deadline - time.monotonic())
+        try:
+            sock = socket.create_connection((host, port), timeout=min(2.0, budget))
+            break
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.1)
+    transport = SocketTransport(sock)
+    try:
+        transport.send_bytes(
+            wire.encode_frame(FrameKind.HELLO, {"worker_index": worker_index})
+        )
+        data = transport.recv_bytes(timeout=max(0.05, deadline - time.monotonic()))
+        kind, meta, _arrays = wire.decode_frame(data)
+        if kind is not FrameKind.SPEC:
+            raise HandshakeError(
+                f"expected a SPEC frame after HELLO, got {kind.name}"
+            )
+        return meta["spec"], transport
+    except BaseException:
+        transport.close()
+        raise
+
+
+class SocketListener:
+    """One persistent listening socket for one worker slot.
+
+    The listener outlives worker incarnations: a restarted (or operator-
+    relaunched) worker reconnects to the same address and the accept-side
+    handshake re-validates protocol version and worker index before the
+    supervisor replays the ledger into it.
+    """
+
+    def __init__(self, worker_index: int, host: str = "127.0.0.1", port: int = 0):
+        self.worker_index = worker_index
+        self.host = host
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(4)
+        self.port = self._sock.getsockname()[1]
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The ``(host, port)`` workers must dial."""
+        return (self.host, self.port)
+
+    def accept(self, timeout_s: float) -> SocketTransport:
+        """Accept the next connection that passes the HELLO handshake.
+
+        Connections that fail the handshake (garbage bytes from a stray
+        client, a HELLO for the wrong worker slot) are closed and accepting
+        continues until the deadline; an incompatible protocol generation
+        raises :class:`~repro.dist.wire.WireVersionError` immediately —
+        retrying cannot fix a version skew, the operator has mismatched
+        builds.  Raises :class:`TransportTimeout` at the deadline.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            budget = deadline - time.monotonic()
+            if budget <= 0:
+                raise TransportTimeout(
+                    f"no worker {self.worker_index} connected to "
+                    f"{self.host}:{self.port} within {timeout_s:.1f}s"
+                )
+            self._sock.settimeout(budget)
+            try:
+                conn, _addr = self._sock.accept()
+            except socket.timeout as error:
+                raise TransportTimeout(
+                    f"no worker {self.worker_index} connected to "
+                    f"{self.host}:{self.port} within {timeout_s:.1f}s"
+                ) from error
+            transport = SocketTransport(conn)
+            try:
+                # Each dialer gets a short handshake budget, not the whole
+                # remaining window: a silent stray connection (port scanner,
+                # health probe) must not starve the real worker's slot.
+                handshake_budget = min(5.0, max(0.05, deadline - time.monotonic()))
+                data = transport.recv_bytes(timeout=handshake_budget)
+                kind, meta, _arrays = wire.decode_frame(data)
+            except wire.WireVersionError:
+                transport.close()
+                raise
+            except (wire.WireError, TransportError, EOFError, OSError):
+                transport.close()
+                continue
+            if (
+                kind is not FrameKind.HELLO
+                or meta.get("worker_index") != self.worker_index
+            ):
+                transport.close()
+                continue
+            return transport
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+# -- factories ----------------------------------------------------------------
+
+
+class TransportFactory:
+    """How the supervisor obtains a transport per worker (base class)."""
+
+    #: ``"pipe"`` or ``"tcp"``.
+    name: str
+
+    def spawn(self, spec, ctx) -> tuple[Optional[Any], Transport]:
+        """Bring one worker up and return ``(process, transport)``.
+
+        Called at pool start and again for every restart.  ``process`` is
+        ``None`` when the factory does not manage the worker's lifetime
+        (externally placed workers): the supervisor then skips process-
+        liveness checks and relies on EOF detection and receive timeouts.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release factory resources, e.g. listening sockets (idempotent)."""
+        raise NotImplementedError
+
+
+class PipeTransportFactory(TransportFactory):
+    """Local worker processes over duplex pipes (the default)."""
+
+    name = "pipe"
+
+    def spawn(self, spec, ctx):
+        from repro.dist.worker import worker_main
+
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        process = ctx.Process(
+            target=worker_main,
+            args=(spec, child_conn),
+            name=f"celestial-worker-{spec.worker_index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return process, PipeTransport(parent_conn)
+
+    def close(self) -> None:
+        pass
+
+
+class TcpTransportFactory(TransportFactory):
+    """Workers over localhost- or LAN-TCP, spawned locally or placed remotely.
+
+    Managed mode (default): ``spawn`` launches a local child process that
+    dials back in — functionally the pipe topology, but every byte crosses a
+    real TCP stream, which is what the equivalence suite pins down.
+
+    External mode (``external=True``): the operator starts each worker by
+    hand (``python -m repro.dist.worker --connect host:port --index N``,
+    typically on another machine) and ``spawn`` only accepts; ``base_port``
+    must then be explicit so the workers know where to dial (worker *i*
+    listens on ``base_port + i``).
+    """
+
+    name = "tcp"
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        base_port: int = 0,
+        external: bool = False,
+        accept_timeout_s: float = 60.0,
+    ):
+        if external and base_port == 0:
+            raise ValueError(
+                "external workers need an explicit base_port to dial; "
+                "an ephemeral port is only knowable to a spawning supervisor"
+            )
+        self.host = host
+        self.base_port = base_port
+        self.external = external
+        self.accept_timeout_s = accept_timeout_s
+        self._listeners: dict[int, SocketListener] = {}
+        self._closed = False
+
+    def listener_for(self, worker_index: int) -> SocketListener:
+        """The persistent listener of one worker slot (bound on first use)."""
+        if self._closed:
+            raise TransportError("the transport factory has been closed")
+        if worker_index not in self._listeners:
+            port = 0 if self.base_port == 0 else self.base_port + worker_index
+            self._listeners[worker_index] = SocketListener(
+                worker_index, host=self.host, port=port
+            )
+        return self._listeners[worker_index]
+
+    def spawn(self, spec, ctx):
+        from repro.dist.worker import tcp_worker_main
+
+        listener = self.listener_for(spec.worker_index)
+        process = None
+        if not self.external:
+            process = ctx.Process(
+                target=tcp_worker_main,
+                # Workers dial the loopback/LAN address the listener bound.
+                args=(self.host, listener.port, spec.worker_index),
+                name=f"celestial-worker-{spec.worker_index}",
+                daemon=True,
+            )
+            process.start()
+        try:
+            transport = listener.accept(self.accept_timeout_s)
+            transport.send_bytes(wire.encode_frame(FrameKind.SPEC, {"spec": spec}))
+        except BaseException:
+            if process is not None and process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+            raise
+        return process, transport
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for listener in self._listeners.values():
+            listener.close()
+        self._listeners.clear()
+
+
+def make_transport_factory(transport) -> TransportFactory:
+    """Resolve ``"pipe"`` / ``"tcp"`` (or a ready factory) to a factory."""
+    if isinstance(transport, TransportFactory):
+        return transport
+    if transport in (None, "pipe"):
+        return PipeTransportFactory()
+    if transport == "tcp":
+        return TcpTransportFactory()
+    raise ValueError(f"unknown transport {transport!r} (expected 'pipe' or 'tcp')")

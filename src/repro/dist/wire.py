@@ -24,9 +24,16 @@ way and round-trips byte-identically (dtype, shape and payload bits).
 The header is parsed with :mod:`struct` and the version is checked *before*
 the metadata blob is deserialised; a frame from a different protocol
 generation is rejected with :class:`WireVersionError` instead of being
-misinterpreted.  The metadata blob itself uses pickle protocol 5 — it only
-ever crosses a pipe between a coordinator and the worker processes it
-spawned itself, never an untrusted boundary.
+misinterpreted.  Every array descriptor is validated before its buffer is
+sliced: the dtype string must name a real, fixed-size, object-free dtype and
+every shape dimension must be a non-negative integer, so a corrupt or forged
+descriptor (e.g. a negative dimension that would make ``nbytes`` negative
+and defeat the bounds check) raises :class:`WireError` instead of producing
+a nonsense array view.  The metadata blob itself uses pickle protocol 5 — it
+only ever crosses a pipe (or, with the TCP transport, a socket) between a
+coordinator and workers started by the same operator, never an untrusted
+boundary; the descriptor validation is corruption hardening, not a security
+boundary.
 
 Payload codecs
 --------------
@@ -44,6 +51,7 @@ activity masks of a full-state replay the same way.
 from __future__ import annotations
 
 import enum
+import math
 import pickle
 import struct
 from typing import Any, Optional
@@ -92,6 +100,12 @@ class FrameKind(enum.IntEnum):
     PING = 30
     SHUTDOWN = 31
     CRASH = 32  # test hook: hard-exit without cleanup
+    WEDGE = 33  # test hook: hang forever while staying alive
+    # transport handshake (TCP): worker → supervisor greeting carrying the
+    # worker index (the frame header itself carries WIRE_VERSION), answered
+    # by the supervisor with the worker's blueprint.
+    HELLO = 40
+    SPEC = 41
 
 
 def encode_frame(
@@ -134,6 +148,10 @@ def decode_frame(data: bytes) -> tuple[FrameKind, dict[str, Any], list[np.ndarra
             f"wire protocol version {version} is not supported "
             f"(this codec speaks version {WIRE_VERSION})"
         )
+    try:
+        frame_kind = FrameKind(kind)
+    except ValueError as error:
+        raise WireError(f"unknown frame kind {kind}") from error
     offset = _HEADER.size
     if len(data) < offset + meta_len:
         raise WireError("frame truncated inside the metadata blob")
@@ -142,6 +160,12 @@ def decode_frame(data: bytes) -> tuple[FrameKind, dict[str, Any], list[np.ndarra
         meta, descriptors = blob["meta"], blob["arrays"]
     except Exception as error:
         raise WireError(f"undecodable metadata blob: {error}") from error
+    if not isinstance(meta, dict):
+        raise WireError(f"frame metadata is {type(meta).__name__}, not a dict")
+    if not isinstance(descriptors, (list, tuple)):
+        raise WireError(
+            f"descriptor table is {type(descriptors).__name__}, not a sequence"
+        )
     if len(descriptors) != array_count:
         raise WireError(
             f"descriptor count {len(descriptors)} != header array count {array_count}"
@@ -149,9 +173,11 @@ def decode_frame(data: bytes) -> tuple[FrameKind, dict[str, Any], list[np.ndarra
     offset += meta_len
     view = memoryview(data)
     arrays = []
-    for dtype_str, shape in descriptors:
-        dtype = np.dtype(dtype_str)
-        nbytes = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+    for descriptor in descriptors:
+        dtype, shape = _validated_descriptor(descriptor)
+        # Python ints: arbitrary precision, so a forged dimension can never
+        # overflow the byte count into passing the bounds check below.
+        nbytes = dtype.itemsize * math.prod(shape)
         if len(data) < offset + nbytes:
             raise WireError("frame truncated inside an array buffer")
         arrays.append(
@@ -160,7 +186,39 @@ def decode_frame(data: bytes) -> tuple[FrameKind, dict[str, Any], list[np.ndarra
         offset += nbytes
     if offset != len(data):
         raise WireError(f"{len(data) - offset} trailing bytes after the last array")
-    return FrameKind(kind), meta, arrays
+    return frame_kind, meta, arrays
+
+
+def _validated_descriptor(descriptor: Any) -> tuple[np.dtype, tuple[int, ...]]:
+    """Validate one ``(dtype_str, shape)`` array descriptor.
+
+    Descriptors arrive in the pickled metadata blob, i.e. from outside this
+    process; they must never be able to slice a nonsense array view out of
+    the frame (negative dimensions producing a negative ``nbytes``, object
+    dtypes materialising arbitrary pointers, dimension counts beyond what
+    NumPy supports).  Anything suspicious is a :class:`WireError`.
+    """
+    if not isinstance(descriptor, (tuple, list)) or len(descriptor) != 2:
+        raise WireError(f"malformed array descriptor {descriptor!r}")
+    dtype_str, shape = descriptor
+    if not isinstance(dtype_str, str):
+        raise WireError(f"array dtype descriptor {dtype_str!r} is not a string")
+    try:
+        dtype = np.dtype(dtype_str)
+    except Exception as error:
+        raise WireError(f"invalid array dtype {dtype_str!r}: {error}") from error
+    if dtype.hasobject:
+        raise WireError(f"object dtype {dtype_str!r} cannot travel as a raw buffer")
+    if dtype.itemsize == 0:
+        raise WireError(f"zero-itemsize dtype {dtype_str!r} in array descriptor")
+    if not isinstance(shape, (tuple, list)) or len(shape) > 32:
+        raise WireError(f"malformed array shape {shape!r}")
+    dims = []
+    for dim in shape:
+        if isinstance(dim, bool) or not isinstance(dim, (int, np.integer)) or dim < 0:
+            raise WireError(f"invalid array shape dimension {dim!r} in {shape!r}")
+        dims.append(int(dim))
+    return dtype, tuple(dims)
 
 
 # -- machine identities ------------------------------------------------------

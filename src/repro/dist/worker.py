@@ -10,7 +10,8 @@ usage back to the coordinator (§3, Fig. 2).
 Protocol
 --------
 
-The worker reads :mod:`repro.dist.wire` frames from its pipe in order and
+The worker reads :mod:`repro.dist.wire` frames from its transport — a local
+pipe or a TCP connection (:mod:`repro.dist.transport`) — in order and
 executes them sequentially, which makes its random streams replayable: the
 coordinator forwards machine creations and usage-sample requests in exactly
 the order the in-process thread backend would execute them, so every random
@@ -30,15 +31,33 @@ supervisor journals them and replays the journal into a fresh process after
 a crash, followed by a ``RESTORE`` frame that forces bounding-box activity
 to the checkpoint epoch (recovered from the database's keyframe + diff
 chain) and restores counters and RNG streams.
+
+Remote placement
+----------------
+
+Run standalone on another machine with::
+
+    python -m repro.dist.worker --connect HOST:PORT --index N [--loop]
+
+The worker dials the supervisor's per-worker listener, handshakes (a
+``HELLO`` frame carrying its index; the frame header carries
+``WIRE_VERSION``) and receives its :class:`WorkerSpec` in the answering
+``SPEC`` frame, so the command line needs no blueprint — only an address.
+With ``--loop`` the worker reconnects after a dropped connection (e.g. the
+supervisor restarting it after a detected wedge), which is the external
+analogue of the supervisor's local respawn.
 """
 
 from __future__ import annotations
 
+import argparse
 import dataclasses
 import os
+import sys
+import time
 import traceback
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
@@ -46,6 +65,7 @@ from repro.core.config import ComputeParams
 from repro.core.constellation import MachineId
 from repro.core.machine_manager import MachineManager
 from repro.dist import wire
+from repro.dist.transport import PipeTransport, Transport, connect_transport
 from repro.dist.wire import FrameKind
 from repro.hosts import Host
 
@@ -132,20 +152,37 @@ class _Worker:
 
     # -- dispatch -----------------------------------------------------------
 
-    def run(self) -> None:
+    def run(self) -> bool:
+        """Serve frames until shutdown or connection loss.
+
+        Returns ``True`` on a clean ``SHUTDOWN``, ``False`` when the
+        connection dropped — the standalone ``--loop`` mode reconnects only
+        in the latter case.
+        """
         while True:
             try:
                 data = self.conn.recv_bytes()
             except (EOFError, OSError):
-                return
-            kind, meta, arrays = wire.decode_frame(data)
+                return False
+            try:
+                kind, meta, arrays = wire.decode_frame(data)
+            except wire.WireError:
+                # A corrupt frame means the stream is desynced; treat it
+                # like a dropped connection (a --loop worker reconnects and
+                # re-handshakes, the supervisor sees EOF and restarts us).
+                return False
             if kind is FrameKind.CRASH:
                 # Test hook: die like a killed process, no cleanup, no reply.
                 os._exit(17)
+            if kind is FrameKind.WEDGE:
+                # Test hook: stay alive but stop serving — the supervisor's
+                # receive timeout must detect this and restart the worker.
+                while True:
+                    time.sleep(60.0)
             if kind is FrameKind.SHUTDOWN:
                 if "seq" in meta:
                     self._ack(meta["seq"])
-                return
+                return True
             try:
                 extra = self._dispatch(kind, meta, arrays)
             except BaseException as error:  # noqa: BLE001 - reported to the parent
@@ -245,11 +282,82 @@ class _Worker:
 
 
 def worker_main(spec: WorkerSpec, conn) -> None:
-    """Child-process entrypoint: build the managers and serve the pipe."""
+    """Child-process entrypoint: build the managers and serve the transport.
+
+    ``conn`` may be a raw pipe ``Connection`` (the pipe factory passes the
+    child end through process arguments) or any
+    :class:`~repro.dist.transport.Transport`.
+    """
+    transport = conn if isinstance(conn, Transport) else PipeTransport(conn)
     try:
-        _Worker(spec, conn).run()
+        _Worker(spec, transport).run()
     finally:
         try:
-            conn.close()
+            transport.close()
         except OSError:
             pass
+
+
+def tcp_worker_main(host: str, port: int, worker_index: int) -> None:
+    """Child-process entrypoint of a supervisor-spawned TCP worker.
+
+    Identical to what ``python -m repro.dist.worker --connect`` runs: dial,
+    handshake, receive the spec over the wire, serve — so the localhost
+    equivalence suite exercises exactly the remote-placement code path.
+    """
+    spec, transport = connect_transport(host, port, worker_index)
+    try:
+        _Worker(spec, transport).run()
+    finally:
+        transport.close()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry point: ``python -m repro.dist.worker``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.dist.worker",
+        description="Run one Celestial dist-layer worker against a remote "
+        "supervisor (the worker's blueprint arrives over the wire).",
+    )
+    parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="address of the supervisor's listener for this worker slot",
+    )
+    parser.add_argument(
+        "--index",
+        type=int,
+        required=True,
+        help="worker index announced in the HELLO handshake",
+    )
+    parser.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to keep retrying the TCP connect (default: 30)",
+    )
+    parser.add_argument(
+        "--loop",
+        action="store_true",
+        help="reconnect after a dropped connection instead of exiting "
+        "(a clean SHUTDOWN always exits)",
+    )
+    args = parser.parse_args(argv)
+    host, _, port_text = args.connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        parser.error(f"--connect expects HOST:PORT, got {args.connect!r}")
+    while True:
+        spec, transport = connect_transport(
+            host, int(port_text), args.index, timeout_s=args.connect_timeout
+        )
+        try:
+            clean_shutdown = _Worker(spec, transport).run()
+        finally:
+            transport.close()
+        if clean_shutdown or not args.loop:
+            return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,11 @@ dirty-machine reconciliation, machine states and usage samples are
 byte/count-identical over many epochs, **including** a worker crash that is
 recovered by replaying the durable control ledger plus the constellation
 database's keyframe + diff chain.
+
+The equivalence tests are parametrized over the worker transport: the
+``pipe`` rows pin the PR 4 behaviour, the ``tcp`` rows prove the
+remote-worker wire path (length-prefixed frames, handshake, reconnect
+after SIGKILL) is byte/count-identical over localhost.
 """
 
 import dataclasses
@@ -56,7 +61,7 @@ def _iridium_box_config(update_interval_s=60.0, duration_s=1200.0):
     )
 
 
-def _coordinator(config, parallelism, host_count=3, worker_count=2):
+def _coordinator(config, parallelism, host_count=3, worker_count=2, transport="pipe"):
     calculation = ConstellationCalculation(config)
     managers = [
         MachineManager(
@@ -72,6 +77,7 @@ def _coordinator(config, parallelism, host_count=3, worker_count=2):
         managers,
         parallelism=parallelism,
         worker_count=worker_count,
+        transport=transport,
     )
     coordinator.create_ground_stations(0.0)
     return coordinator
@@ -117,12 +123,13 @@ def _assert_equivalent(threads, processes):
 
 
 class TestProcessBackendEquivalence:
-    def test_iridium_counters_states_and_samples(self):
+    @pytest.mark.parametrize("transport", ["pipe", "tcp"])
+    def test_iridium_counters_states_and_samples(self, transport):
         # Long enough that satellites leave the box, are suspended, come
         # back and are resumed; usage sampled every epoch.
         config = _iridium_box_config(duration_s=1200.0)
         threads = _coordinator(config, "threads")
-        processes = _coordinator(config, "processes")
+        processes = _coordinator(config, "processes", transport=transport)
         try:
             for step in range(13):
                 now = step * 60.0
@@ -148,12 +155,15 @@ class TestProcessBackendEquivalence:
             threads.close()
             processes.close()
 
-    def test_starlink_epochs_match(self):
+    @pytest.mark.parametrize("transport", ["pipe", "tcp"])
+    def test_starlink_epochs_match(self, transport):
         # Starlink (two lowest shells, West-Africa bounding box), ≥ 10
         # epochs through the differential pipeline on both backends.
         config = west_africa_configuration(duration_s=60.0, shells="two-lowest")
         threads = _coordinator(config, "threads", host_count=4, worker_count=2)
-        processes = _coordinator(config, "processes", host_count=4, worker_count=2)
+        processes = _coordinator(
+            config, "processes", host_count=4, worker_count=2, transport=transport
+        )
         try:
             for step in range(11):
                 now = step * config.update_interval_s
@@ -199,10 +209,11 @@ class TestProcessBackendEquivalence:
             threads.close()
             processes.close()
 
-    def test_worker_crash_recovered_by_keyframe_diff_replay(self):
+    @pytest.mark.parametrize("transport", ["pipe", "tcp"])
+    def test_worker_crash_recovered_by_keyframe_diff_replay(self, transport):
         config = _iridium_box_config(duration_s=2400.0)
         threads = _coordinator(config, "threads")
-        processes = _coordinator(config, "processes")
+        processes = _coordinator(config, "processes", transport=transport)
         try:
             for step in range(7):
                 now = step * 60.0
@@ -210,9 +221,10 @@ class TestProcessBackendEquivalence:
                 processes.update(now)
                 assert threads.sample_all_usage(now) == processes.sample_all_usage(now)
             # Kill one worker the hard way (SIGKILL).  The next fan-out's
-            # heartbeat sweep detects the death, respawns the worker,
-            # replays its control ledger and restores activity from the
-            # database's keyframe + diff chain plus the last checkpoint.
+            # heartbeat sweep detects the death, respawns the worker (over
+            # TCP: the successor reconnects to the same listener), replays
+            # its control ledger and restores activity from the database's
+            # keyframe + diff chain plus the last checkpoint.
             processes._backend.crash_worker(0)
             for step in range(7, 11):
                 now = step * 60.0
@@ -348,6 +360,14 @@ class TestProcessBackendEquivalence:
             assert processes._backend.restart_count == 1
         finally:
             processes.close()
+
+
+def test_thread_backend_rejects_worker_transport():
+    # --transport tcp without --parallelism processes must fail loudly:
+    # silently running in-process would fake a passing remote-path run.
+    config = _iridium_box_config()
+    with pytest.raises(ValueError, match="parallelism='processes'"):
+        _coordinator(config, "threads", transport="tcp")
 
 
 class TestSupervision:
