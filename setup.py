@@ -20,6 +20,9 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
+    entry_points={
+        "console_scripts": ["repro-celestial=repro.cli:main"],
+    },
     install_requires=[
         "numpy>=1.23",
         "scipy>=1.9",

@@ -9,6 +9,7 @@ from repro.analysis.cost import (
     per_satellite_vm_cost,
 )
 from repro.analysis.report import render_table
+from repro.analysis.bundle import write_experiment_bundle
 from repro.analysis.handover import HandoverAnalysis, HandoverEvent, analyze_handovers
 from repro.analysis.traces import (
     experiment_summary_to_json,
@@ -35,4 +36,5 @@ __all__ = [
     "render_table",
     "resource_trace_to_csv",
     "run_repetitions",
+    "write_experiment_bundle",
 ]

@@ -70,6 +70,24 @@ class DartResults:
             for region, values in regions.items()
         }
 
+    def summary_metrics(self) -> list[list]:
+        """The headline ``[label, value]`` rows of a run (§5 reporting).
+
+        Shared by the CLI table and the experiment runner's result bundle,
+        so both surfaces report the identical quantities.
+        """
+        low, high = self.latency_range_ms()
+        regions = self.mean_latency_by_region()
+        return [
+            ["readings sent", self.readings_sent],
+            ["results delivered", self.results_delivered],
+            ["mean latency [ms]", self.all_latencies().mean()],
+            ["min/max sink mean [ms]", f"{low:.1f} / {high:.1f}"],
+            ["West Pacific mean [ms]", regions["west_pacific"]],
+            ["Americas mean [ms]", regions["americas"]],
+            ["processing mean [ms]", self.processing_ms.mean()],
+        ]
+
 
 class DartExperiment:
     """Runs the DART-inspired remote-sensing workload on a Celestial testbed."""

@@ -84,6 +84,22 @@ class MeetupResults:
             merged.extend(series.samples)
         return merged
 
+    def summary_metrics(self) -> list[list]:
+        """The headline ``[label, value]`` rows of a run (§4 reporting).
+
+        Shared by the CLI table and the experiment runner's result bundle,
+        so both surfaces report the identical quantities.
+        """
+        merged = self.all_measurements()
+        return [
+            ["samples", len(merged)],
+            ["median latency [ms]", merged.median()],
+            ["p80 latency [ms]", merged.percentile(80)],
+            ["fraction <= 16 ms", merged.fraction_below(16.0)],
+            ["fraction <= 46 ms", merged.fraction_below(46.0)],
+            ["bridge handovers", max(0, len(self.bridge_history) - 1)],
+        ]
+
 
 class MeetupExperiment:
     """Runs the §4 meetup experiment on a Celestial testbed."""

@@ -1,17 +1,21 @@
 """Command-line interface for the Celestial reproduction.
 
 Mirrors how the original testbed is driven from a single configuration file
-(§3.1): the CLI validates configurations, exports constellation snapshots,
-runs the paper's two evaluation workloads and prints the cost comparison.
+(§3.1), extended to whole experiments: every workload subcommand builds a
+declarative :class:`~repro.experiments.spec.ExperimentSpec` and hands it to
+the one :class:`~repro.experiments.runner.ExperimentRunner`, and ``run``
+executes such a spec straight from a TOML/JSON file — so a parameter sweep
+is a directory of spec files, not a Python module.
 
 Usage (installed as ``repro-celestial``)::
 
     repro-celestial validate config.toml
     repro-celestial snapshot config.toml --time 120 --output snapshot.json --geojson
+    repro-celestial scenarios
+    repro-celestial run experiment.toml --output-dir results
+    repro-celestial run experiment.toml --parallelism processes --workers 2 --transport tcp
     repro-celestial meetup --mode satellite --duration 60
     repro-celestial dart --deployment central --buoys 20 --sinks 40 --duration 60
-    repro-celestial dart --deployment central --parallelism processes --workers 4
-    repro-celestial dart --parallelism processes --workers 2 --transport tcp
     repro-celestial handover config.toml --station hawaii --duration 600
     repro-celestial cost --minutes 15
 """
@@ -23,10 +27,7 @@ import json
 import sys
 from typing import Optional, Sequence
 
-from repro import Celestial
 from repro.analysis import cost_comparison, render_table
-from repro.analysis.handover import analyze_handovers
-from repro.apps import DartExperiment, MeetupExperiment, VideoStreamParams
 from repro.core import (
     Configuration,
     ConstellationCalculation,
@@ -35,18 +36,18 @@ from repro.core import (
     snapshot_to_geojson,
     validate_configuration,
 )
-from repro.scenarios import dart_configuration, west_africa_configuration
-
-
-def _load_configuration(path: str) -> Configuration:
-    if path.endswith(".toml"):
-        return Configuration.from_toml(path)
-    with open(path) as handle:
-        return Configuration.from_dict(json.load(handle))
+from repro.experiments import (
+    ExperimentRunner,
+    ExperimentSpec,
+    RuntimeSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+    entries,
+)
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
-    config = _load_configuration(args.config)
+    config = Configuration.from_path(args.config)
     estimate = estimate_resources(config)
     warnings = validate_configuration(config)
     rows = [
@@ -69,7 +70,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_snapshot(args: argparse.Namespace) -> int:
-    config = _load_configuration(args.config)
+    config = Configuration.from_path(args.config)
     calculation = ConstellationCalculation(config)
     state = calculation.state_at(args.time)
     if args.geojson:
@@ -86,79 +87,78 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_meetup(args: argparse.Namespace) -> int:
-    config = west_africa_configuration(duration_s=args.duration, shells=args.shells,
-                                       seed=args.seed)
-    testbed = Celestial(config, parallelism=args.parallelism, worker_count=args.workers,
-                        transport=args.transport)
-    experiment = MeetupExperiment(
-        testbed,
-        mode=args.mode,
-        stream=VideoStreamParams(packet_interval_s=args.packet_interval),
-    )
-    try:
-        results = experiment.run()
-    finally:
-        testbed.close()
-    merged = results.all_measurements()
-    rows = [
-        ["samples", len(merged)],
-        ["median latency [ms]", merged.median()],
-        ["p80 latency [ms]", merged.percentile(80)],
-        ["fraction <= 16 ms", merged.fraction_below(16.0)],
-        ["fraction <= 46 ms", merged.fraction_below(46.0)],
-        ["bridge handovers", max(0, len(results.bridge_history) - 1)],
-    ]
-    print(render_table(["metric", "value"], rows,
-                       title=f"Meetup experiment ({args.mode} bridge, {args.duration:.0f}s)"))
+def _print_result(result) -> int:
+    print(render_table(["metric", "value"], result.metrics, title=result.title))
+    for path in result.output_paths:
+        print(f"wrote {path}")
     return 0
+
+
+def _runtime_spec(args: argparse.Namespace) -> RuntimeSpec:
+    return RuntimeSpec(
+        parallelism=args.parallelism, workers=args.workers, transport=args.transport
+    )
+
+
+def _cmd_meetup(args: argparse.Namespace) -> int:
+    spec = ExperimentSpec(
+        name="meetup-cli",
+        scenario=ScenarioSpec(
+            name="west-africa-meetup",
+            params={
+                "duration_s": args.duration,
+                "shells": args.shells,
+                "seed": args.seed,
+            },
+        ),
+        workload=WorkloadSpec(
+            app="meetup",
+            params={"mode": args.mode, "packet_interval_s": args.packet_interval},
+        ),
+        runtime=_runtime_spec(args),
+    )
+    return _print_result(ExperimentRunner(spec).run())
 
 
 def _cmd_dart(args: argparse.Namespace) -> int:
-    config = dart_configuration(
-        deployment=args.deployment,
-        buoy_count=args.buoys,
-        sink_count=args.sinks,
-        duration_s=args.duration,
-        seed=args.seed,
+    spec = ExperimentSpec(
+        name="dart-cli",
+        scenario=ScenarioSpec(
+            name="pacific-dart",
+            params={
+                "deployment": args.deployment,
+                "buoy_count": args.buoys,
+                "sink_count": args.sinks,
+                "duration_s": args.duration,
+                "seed": args.seed,
+            },
+        ),
+        workload=WorkloadSpec(
+            app="dart",
+            params={
+                "deployment": args.deployment,
+                "group_count": max(2, args.buoys // 5),
+            },
+        ),
+        runtime=_runtime_spec(args),
     )
-    testbed = Celestial(config, parallelism=args.parallelism, worker_count=args.workers,
-                        transport=args.transport)
-    experiment = DartExperiment(testbed, deployment=args.deployment,
-                                group_count=max(2, args.buoys // 5))
-    try:
-        results = experiment.run()
-    finally:
-        testbed.close()
-    low, high = results.latency_range_ms()
-    regions = results.mean_latency_by_region()
-    rows = [
-        ["readings sent", results.readings_sent],
-        ["results delivered", results.results_delivered],
-        ["mean latency [ms]", results.all_latencies().mean()],
-        ["min/max sink mean [ms]", f"{low:.1f} / {high:.1f}"],
-        ["West Pacific mean [ms]", regions["west_pacific"]],
-        ["Americas mean [ms]", regions["americas"]],
-        ["processing mean [ms]", results.processing_ms.mean()],
-    ]
-    print(render_table(["metric", "value"], rows,
-                       title=f"DART experiment ({args.deployment} deployment, {args.duration:.0f}s)"))
-    return 0
+    return _print_result(ExperimentRunner(spec).run())
 
 
 def _cmd_handover(args: argparse.Namespace) -> int:
-    config = _load_configuration(args.config)
-    calculation = ConstellationCalculation(config)
-    analysis = analyze_handovers(calculation, args.station, args.duration, args.interval)
-    rows = [
-        ["handovers", analysis.handover_count],
-        ["handovers per minute", analysis.handover_rate_per_minute],
-        ["mean uplink duration [s]", analysis.mean_uplink_duration_s()],
-        ["coverage fraction", analysis.coverage_fraction],
-    ]
-    print(render_table(["metric", "value"], rows,
-                       title=f"Uplink handovers of {args.station} over {args.duration:.0f}s"))
-    return 0
+    spec = ExperimentSpec(
+        name="handover-cli",
+        scenario=ScenarioSpec(path=args.config),
+        workload=WorkloadSpec(
+            app="handover",
+            params={
+                "station": args.station,
+                "duration_s": args.duration,
+                "interval_s": args.interval,
+            },
+        ),
+    )
+    return _print_result(ExperimentRunner(spec).run())
 
 
 def _cmd_cost(args: argparse.Namespace) -> int:
@@ -168,12 +168,46 @@ def _cmd_cost(args: argparse.Namespace) -> int:
     return 0
 
 
-def _add_parallelism_arguments(parser: argparse.ArgumentParser) -> None:
-    """Fan-out backend selection shared by the experiment subcommands."""
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    rows = [[item.name, item.description] for item in entries()]
+    print(render_table(["scenario", "description"], rows, title="Registered scenarios"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = ExperimentSpec.from_path(args.spec)
+    overrides = {
+        key: value
+        for key, value in (
+            ("parallelism", args.parallelism),
+            ("workers", args.workers),
+            ("transport", args.transport),
+            ("duration_s", args.duration),
+            ("seed", args.seed),
+        )
+        if value is not None
+    }
+    if overrides:
+        spec = spec.with_runtime(**overrides)
+    output_dir = None
+    if not args.no_output:
+        output_dir = args.output_dir if args.output_dir else f"{spec.name}-results"
+    return _print_result(ExperimentRunner(spec, output_dir=output_dir).run())
+
+
+def _add_parallelism_arguments(
+    parser: argparse.ArgumentParser, defaults: bool = True
+) -> None:
+    """Fan-out backend selection shared by the experiment subcommands.
+
+    With ``defaults=False`` every option defaults to None so ``run`` can
+    distinguish "not given" from "given" and leave the spec's own runtime
+    section in charge.
+    """
     parser.add_argument(
         "--parallelism",
         choices=["threads", "processes"],
-        default="threads",
+        default="threads" if defaults else None,
         help="host fan-out backend: in-process thread pool (default) or "
         "supervised worker processes (escapes the GIL for per-host sweeps)",
     )
@@ -187,7 +221,7 @@ def _add_parallelism_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--transport",
         choices=["pipe", "tcp"],
-        default="pipe",
+        default="pipe" if defaults else None,
         help="worker transport for --parallelism processes: local duplex "
         "pipes (default) or per-worker TCP connections (the remote-worker "
         "wire path, exercised here over localhost)",
@@ -211,6 +245,27 @@ def build_parser() -> argparse.ArgumentParser:
     snapshot.add_argument("--no-links", action="store_true")
     snapshot.add_argument("--pretty", action="store_true")
     snapshot.set_defaults(handler=_cmd_snapshot)
+
+    scenarios = subparsers.add_parser("scenarios", help="list the registered scenarios")
+    scenarios.set_defaults(handler=_cmd_scenarios)
+
+    run = subparsers.add_parser("run", help="run a declarative experiment spec")
+    run.add_argument("spec", help="experiment spec file (.toml or .json)")
+    run.add_argument(
+        "--output-dir",
+        default=None,
+        help="result-bundle directory (default: <experiment name>-results)",
+    )
+    run.add_argument(
+        "--no-output",
+        action="store_true",
+        help="print the summary table only, write no result bundle",
+    )
+    run.add_argument("--duration", type=float, default=None,
+                     help="override the spec's duration [s]")
+    run.add_argument("--seed", type=int, default=None, help="override the spec's seed")
+    _add_parallelism_arguments(run, defaults=False)
+    run.set_defaults(handler=_cmd_run)
 
     meetup = subparsers.add_parser("meetup", help="run the §4 meetup experiment")
     meetup.add_argument("--mode", choices=["satellite", "cloud"], default="satellite")

@@ -272,3 +272,24 @@ class Configuration:
 
         with open(path, "rb") as handle:
             return cls.from_dict(tomllib.load(handle))
+
+    @classmethod
+    def from_path(cls, path) -> "Configuration":
+        """Load a configuration from a ``.toml`` or ``.json`` file.
+
+        The format is selected by the file extension; any other suffix is a
+        :class:`ConfigurationError` (shared by the CLI and the experiment
+        runner, so both reject unknown formats identically).
+        """
+        import json
+
+        path_str = str(path)
+        if path_str.endswith(".toml"):
+            return cls.from_toml(path)
+        if path_str.endswith(".json"):
+            with open(path) as handle:
+                return cls.from_dict(json.load(handle))
+        raise ConfigurationError(
+            f"unsupported configuration file suffix: {path_str!r} "
+            "(expected .toml or .json)"
+        )

@@ -103,6 +103,9 @@ class UpdateStats:
     fanout_seconds: list[float] = field(default_factory=list)
     #: Wall-clock of each usage-sampling sweep (``sample_all_usage``).
     sample_seconds: list[float] = field(default_factory=list)
+    #: Transport ack round-trip seconds per worker slot (process backends
+    #: only; empty under the thread backend, which has no transport).
+    worker_ack_seconds: dict[int, list[float]] = field(default_factory=dict)
 
     @property
     def mean_wallclock_s(self) -> float:
@@ -414,7 +417,13 @@ class Coordinator:
             now_s, setup_phase=setup_phase, applying_update=applying_update
         )
         self.stats.sample_seconds.append(wallclock.perf_counter() - started)
+        self._merge_transport_latencies()
         return samples
+
+    def _merge_transport_latencies(self) -> None:
+        """Fold the backend's drained ack latencies into the stats."""
+        for worker, latencies in self._backend.drain_transport_latencies().items():
+            self.stats.worker_ack_seconds.setdefault(worker, []).extend(latencies)
 
     def close(self) -> None:
         """Release the fan-out backend (idempotent, both backends).
@@ -470,6 +479,7 @@ class Coordinator:
             self.stats.diff_change_counts.append(diff.topology.change_count)
         self.stats.count += 1
         self.stats.wallclock_seconds.append(wallclock.perf_counter() - started)
+        self._merge_transport_latencies()
         return state
 
     def run_updates(self, sim: Simulation, duration_s: Optional[float] = None):

@@ -78,6 +78,53 @@ class FaultInjector:
         self.network.clear_loss_override(source, destination)
         self._log(now_s, f"{source.name}->{destination.name}", "packet-loss-cleared")
 
+    #: Declarative op kinds understood by :meth:`apply_op`.
+    OP_KINDS = (
+        "terminate",
+        "reboot",
+        "degrade-cpu",
+        "restore-cpu",
+        "packet-loss",
+        "clear-packet-loss",
+    )
+
+    def apply_op(
+        self,
+        kind: str,
+        now_s: float,
+        machine: Optional[MachineId] = None,
+        source: Optional[MachineId] = None,
+        destination: Optional[MachineId] = None,
+        **params,
+    ) -> None:
+        """Apply one declarative fault op by kind.
+
+        This is the interpreter surface of a spec's fault program
+        (:class:`~repro.experiments.spec.FaultOp`): machine-targeted kinds
+        take ``machine``, link-targeted kinds take ``source``/``destination``,
+        and kind-specific parameters (``quota_fraction``, ``probability``)
+        arrive as keywords.  Each op routes through the corresponding typed
+        method, so the event log is identical to hand-driven injection.
+        """
+        if kind == "terminate":
+            self.terminate(machine, now_s)
+        elif kind == "reboot":
+            self.reboot(machine, now_s)
+        elif kind == "degrade-cpu":
+            self.degrade_cpu(machine, float(params["quota_fraction"]), now_s)
+        elif kind == "restore-cpu":
+            self.restore_cpu(machine, now_s)
+        elif kind == "packet-loss":
+            self.inject_packet_loss(
+                source, destination, float(params.get("probability", 1.0)), now_s
+            )
+        elif kind == "clear-packet-loss":
+            self.clear_packet_loss(source, destination, now_s)
+        else:
+            raise ValueError(
+                f"unknown fault op kind {kind!r} (known: {', '.join(self.OP_KINDS)})"
+            )
+
 
 class RadiationModel:
     """Stochastic single-event-upset model for satellite servers.

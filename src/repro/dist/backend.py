@@ -85,6 +85,15 @@ class FanoutBackend:
         """One usage-sampling sweep across every host, in position order."""
         raise NotImplementedError
 
+    def drain_transport_latencies(self) -> dict[int, list[float]]:
+        """Transport ack round-trip seconds per worker slot since last drain.
+
+        Empty for in-process backends (there is no transport to measure);
+        the process backend reports the supervisor's acknowledgement
+        latencies per worker.
+        """
+        return {}
+
     def close(self) -> None:
         """Release backend resources (idempotent)."""
         raise NotImplementedError
@@ -487,6 +496,10 @@ class ProcessFanoutBackend(FanoutBackend):
             if checkpoint is not None:
                 counters.update(checkpoint["counters"])
         return counters
+
+    def drain_transport_latencies(self) -> dict[int, list[float]]:
+        """Per-worker ack round-trip seconds, drained from the supervisor."""
+        return self.supervisor.drain_ack_latencies()
 
     def crash_worker(self, worker: int) -> None:
         """Test hook: hard-kill one worker process."""

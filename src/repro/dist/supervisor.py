@@ -112,7 +112,8 @@ class _Handle:
         self.seq = 0
         self.ledger: list[bytes] = []
         self.checkpoint: Optional[dict[str, Any]] = None
-        self.inflight: deque[tuple[int, bytes]] = deque()
+        #: (sequence, encoded frame, monotonic send time) per in-flight request.
+        self.inflight: deque[tuple[int, bytes, float]] = deque()
         self.restarts = 0
         # Healthy acknowledged requests since the last restart; at
         # ``restart_decay_acks`` the restart budget resets (transient
@@ -148,6 +149,11 @@ class WorkerSupervisor:
         self.ack_timeout_s = ack_timeout_s
         self.restart_decay_acks = restart_decay_acks
         self.restart_count = 0
+        # Ack round-trip seconds per worker slot, from first send to the
+        # acknowledgement's arrival (recovery time included — a re-sent frame
+        # keeps its original send stamp).  Drained by the backend into
+        # UpdateStats.worker_ack_seconds.
+        self._ack_latency: dict[int, list[float]] = {}
         self._started = False
         self._closed = False
         self._last_now_s = 0.0
@@ -277,7 +283,7 @@ class WorkerSupervisor:
         handle = self._handles[worker]
         handle.seq += 1
         frame = wire.encode_frame(kind, {**meta, "seq": handle.seq}, arrays)
-        handle.inflight.append((handle.seq, frame))
+        handle.inflight.append((handle.seq, frame, time.monotonic()))
         if not handle.dead:
             try:
                 handle.conn.send_bytes(frame)
@@ -302,7 +308,10 @@ class WorkerSupervisor:
                         f"worker {handle.spec.worker_index} transport broke mid-send"
                     )
                 meta = self._await_ack(handle, handle.inflight[0][0])
-                handle.inflight.popleft()
+                _seq, _frame, sent_at = handle.inflight.popleft()
+                self._ack_latency.setdefault(handle.spec.worker_index, []).append(
+                    time.monotonic() - sent_at
+                )
                 self._note_healthy(handle)
                 return meta
             except WorkerCrashError:
@@ -412,6 +421,16 @@ class WorkerSupervisor:
         """The worker's last acknowledged checkpoint (None before the first)."""
         return self._handles[worker].checkpoint
 
+    def drain_ack_latencies(self) -> dict[int, list[float]]:
+        """Ack round-trip seconds per worker slot since the last drain.
+
+        Returns and clears the accumulated samples, so successive calls
+        partition the samples without double counting.
+        """
+        drained = self._ack_latency
+        self._ack_latency = {}
+        return drained
+
     def crash_worker(self, worker: int) -> None:
         """Test hook: hard-kill a worker (SIGKILL), as a real crash would."""
         handle = self._handles[worker]
@@ -458,7 +477,7 @@ class WorkerSupervisor:
                 for frame in handle.ledger:
                     handle.conn.send_bytes(frame)
                 self._restore(handle)
-                for _seq, frame in handle.inflight:
+                for _seq, frame, _sent_at in handle.inflight:
                     handle.conn.send_bytes(frame)
                 return
             except (OSError, BrokenPipeError, EOFError, WorkerCrashError):
@@ -494,7 +513,7 @@ class WorkerSupervisor:
         if self._dirty_resolver is not None:
             for position in positions:
                 skip |= self._dirty_resolver(position)
-        for _seq, frame in handle.inflight:
+        for _seq, frame, _sent_at in handle.inflight:
             kind, frame_meta, _arrays = wire.decode_frame(frame)
             if kind is FrameKind.APPLY_SLICE:
                 skip |= set(frame_meta["dirty_active"])

@@ -25,6 +25,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.config import Configuration
+from repro.experiments.registry import scenario
 from repro.scenarios.mixed import mixed_operator_configuration
 
 #: Shell name degraded by default (the OneWeb Walker-star shell).
@@ -50,6 +51,30 @@ def degraded_operator_configuration(
         seed=seed,
     )
     return config, victim_shell_index(config)
+
+
+@scenario("degraded-operator")
+def degraded_mixed_configuration(
+    duration_s: float = 600.0,
+    update_interval_s: float = 2.0,
+    kuiper_shell_limit: Optional[int] = 1,
+    seed: int = 0,
+) -> Configuration:
+    """The mixed-operator sky whose OneWeb shell suffers the ISL cascade.
+
+    The registered form of :func:`degraded_operator_configuration`: scenario
+    factories return a plain :class:`Configuration`, so the victim index is
+    not part of the return value — an experiment spec names the victim shell
+    in its fault program (``target = "oneweb"``) and the runner resolves the
+    index with :func:`victim_shell_index`.
+    """
+    config, _victim = degraded_operator_configuration(
+        duration_s=duration_s,
+        update_interval_s=update_interval_s,
+        kuiper_shell_limit=kuiper_shell_limit,
+        seed=seed,
+    )
+    return config
 
 
 def victim_shell_index(

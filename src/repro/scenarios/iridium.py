@@ -8,8 +8,18 @@ and last orbital plane — satellites there move in opposite directions.
 
 from __future__ import annotations
 
-from repro.core.config import ComputeParams, NetworkParams, ShellConfig
-from repro.orbits import ShellGeometry
+from typing import Optional
+
+from repro.core.config import (
+    ComputeParams,
+    Configuration,
+    GroundStationConfig,
+    HostConfig,
+    NetworkParams,
+    ShellConfig,
+)
+from repro.experiments.registry import scenario
+from repro.orbits import Epoch, GroundStation, ShellGeometry
 
 #: Iridium Certus 100 bandwidth recommended for remote sensing: 88 kb/s (§5.1).
 IRIDIUM_SENSOR_BANDWIDTH_KBPS = 88.0
@@ -45,4 +55,34 @@ def iridium_shell(
             min_elevation_deg=IRIDIUM_MIN_ELEVATION_DEG,
         ),
         compute=compute,
+    )
+
+
+@scenario("iridium")
+def iridium_configuration(
+    duration_s: float = 600.0,
+    update_interval_s: float = 5.0,
+    inclination_deg: float = 90.0,
+    seed: int = 0,
+    epoch: Optional[Epoch] = None,
+) -> Configuration:
+    """The Iridium constellation with one Hawaii ground station (66 satellites).
+
+    The minimal runnable form of the §5 setting: the full buoy/sink ground
+    segment of the DART case study is the ``pacific-dart`` scenario; this
+    one is small enough for smoke tests and uplink-handover analyses.
+    """
+    hawaii = GroundStationConfig(
+        station=GroundStation("hawaii", 21.36, -157.95),
+        compute=ComputeParams(vcpu_count=4, memory_mib=4096),
+    )
+    return Configuration(
+        shells=(iridium_shell(inclination_deg=inclination_deg),),
+        ground_stations=(hawaii,),
+        bounding_box=None,
+        hosts=HostConfig(count=2, cpu_cores=32, memory_mib=96 * 1024),
+        epoch=epoch if epoch is not None else Epoch(),
+        update_interval_s=update_interval_s,
+        duration_s=duration_s,
+        seed=seed,
     )

@@ -11,8 +11,17 @@ seamless +GRID.
 
 from __future__ import annotations
 
-from repro.core.config import ComputeParams, NetworkParams, ShellConfig
-from repro.orbits import ShellGeometry
+from typing import Optional
+
+from repro.core.config import (
+    ComputeParams,
+    Configuration,
+    HostConfig,
+    NetworkParams,
+    ShellConfig,
+)
+from repro.experiments.registry import scenario
+from repro.orbits import Epoch, ShellGeometry
 
 #: Minimum elevation for Kuiper customer terminals per the FCC filing [deg].
 KUIPER_MIN_ELEVATION_DEG = 35.0
@@ -75,3 +84,28 @@ def kuiper_first_shell(satellite_compute: ComputeParams | None = None) -> ShellC
 def kuiper_total_satellites() -> int:
     """Total satellites across the three Kuiper shells (3,236)."""
     return sum(planes * per_plane for planes, per_plane, _, _ in _KUIPER_SHELLS)
+
+
+@scenario("kuiper")
+def kuiper_configuration(
+    duration_s: float = 600.0,
+    update_interval_s: float = 2.0,
+    shell_limit: Optional[int] = None,
+    seed: int = 0,
+    epoch: Optional[Epoch] = None,
+) -> Configuration:
+    """The first-generation Project Kuiper system (up to 3,236 satellites).
+
+    A bare-constellation configuration (no ground segment); ``shell_limit``
+    keeps only the first shells, as in :func:`kuiper_shells`.
+    """
+    return Configuration(
+        shells=tuple(kuiper_shells(limit=shell_limit)),
+        ground_stations=(),
+        bounding_box=None,
+        hosts=HostConfig(count=11, cpu_cores=32, memory_mib=64 * 1024),
+        epoch=epoch if epoch is not None else Epoch(),
+        update_interval_s=update_interval_s,
+        duration_s=duration_s,
+        seed=seed,
+    )

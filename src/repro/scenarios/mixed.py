@@ -21,6 +21,7 @@ from repro.core.config import (
     GroundStationConfig,
     HostConfig,
 )
+from repro.experiments.registry import scenario
 from repro.orbits import Epoch, GroundStation
 from repro.scenarios.kuiper import kuiper_shells
 from repro.scenarios.oneweb import oneweb_shell
@@ -39,6 +40,7 @@ STATION_COMPUTE = ComputeParams(vcpu_count=4, memory_mib=4096)
 SERVER_COMPUTE = ComputeParams(vcpu_count=2, memory_mib=512)
 
 
+@scenario("mixed-operator")
 def mixed_operator_configuration(
     duration_s: float = 600.0,
     update_interval_s: float = 2.0,

@@ -10,8 +10,17 @@ DART case study, but at a ten times larger scale.
 
 from __future__ import annotations
 
-from repro.core.config import ComputeParams, NetworkParams, ShellConfig
-from repro.orbits import ShellGeometry
+from typing import Optional
+
+from repro.core.config import (
+    ComputeParams,
+    Configuration,
+    HostConfig,
+    NetworkParams,
+    ShellConfig,
+)
+from repro.experiments.registry import scenario
+from repro.orbits import Epoch, ShellGeometry
 
 #: Minimum elevation for OneWeb user terminals [deg].
 ONEWEB_MIN_ELEVATION_DEG = 15.0
@@ -48,3 +57,27 @@ def oneweb_shell(satellite_compute: ComputeParams | None = None) -> ShellConfig:
 def oneweb_total_satellites() -> int:
     """Total satellites of the OneWeb shell (648)."""
     return 18 * 36
+
+
+@scenario("oneweb")
+def oneweb_configuration(
+    duration_s: float = 600.0,
+    update_interval_s: float = 2.0,
+    seed: int = 0,
+    epoch: Optional[Epoch] = None,
+) -> Configuration:
+    """The OneWeb constellation (648 satellites, Walker-star seam at scale).
+
+    A bare-constellation configuration (no ground segment), exercising the
+    +GRID seam logic of the near-polar 180°-arc pattern.
+    """
+    return Configuration(
+        shells=(oneweb_shell(),),
+        ground_stations=(),
+        bounding_box=None,
+        hosts=HostConfig(count=3, cpu_cores=32, memory_mib=64 * 1024),
+        epoch=epoch if epoch is not None else Epoch(),
+        update_interval_s=update_interval_s,
+        duration_s=duration_s,
+        seed=seed,
+    )

@@ -19,6 +19,7 @@ from repro.core.config import (
     GroundStationConfig,
     HostConfig,
 )
+from repro.experiments.registry import scenario
 from repro.orbits import Epoch, GroundStation
 from repro.scenarios.iridium import (
     IRIDIUM_ISL_BANDWIDTH_KBPS,
@@ -70,6 +71,7 @@ def generate_sinks(
     return sinks
 
 
+@scenario("pacific-dart")
 def dart_configuration(
     deployment: Literal["central", "satellite"] = "central",
     buoy_count: int = 100,

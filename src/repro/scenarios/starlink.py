@@ -9,8 +9,17 @@ inclination.
 
 from __future__ import annotations
 
-from repro.core.config import ComputeParams, NetworkParams, ShellConfig
-from repro.orbits import ShellGeometry
+from typing import Optional
+
+from repro.core.config import (
+    ComputeParams,
+    Configuration,
+    HostConfig,
+    NetworkParams,
+    ShellConfig,
+)
+from repro.experiments.registry import scenario
+from repro.orbits import Epoch, ShellGeometry
 
 #: Minimum elevation for Starlink user terminals / ground stations [deg].
 STARLINK_MIN_ELEVATION_DEG = 25.0
@@ -76,3 +85,30 @@ def starlink_first_shell(satellite_compute: ComputeParams | None = None) -> Shel
 def starlink_phase1_total_satellites() -> int:
     """Total satellites across the five phase I shells (4,409)."""
     return sum(planes * per_plane for planes, per_plane, _, _ in _PHASE1_SHELLS)
+
+
+@scenario("starlink-phase1")
+def starlink_phase1_configuration(
+    duration_s: float = 600.0,
+    update_interval_s: float = 2.0,
+    shell_limit: Optional[int] = None,
+    seed: int = 0,
+    epoch: Optional[Epoch] = None,
+) -> Configuration:
+    """The planned phase I Starlink constellation (up to 4,409 satellites).
+
+    A bare-constellation configuration (no ground segment): the §4 meetup
+    deployment on top of these shells is the ``west-africa-meetup`` scenario.
+    ``shell_limit`` keeps only the lowest shells, as in
+    :func:`starlink_phase1_shells`.
+    """
+    return Configuration(
+        shells=tuple(starlink_phase1_shells(limit=shell_limit)),
+        ground_stations=(),
+        bounding_box=None,
+        hosts=HostConfig(count=15, cpu_cores=32, memory_mib=64 * 1024),
+        epoch=epoch if epoch is not None else Epoch(),
+        update_interval_s=update_interval_s,
+        duration_s=duration_s,
+        seed=seed,
+    )

@@ -33,6 +33,7 @@ from repro.core.config import (
     NetworkParams,
     ShellConfig,
 )
+from repro.experiments.registry import scenario
 from repro.orbits import Epoch, GroundStation, ShellGeometry
 
 #: Minimum elevation for Lightspeed user terminals [deg] (Telesat filing).
@@ -115,6 +116,7 @@ def telesat_total_satellites() -> int:
     return sum(shell.geometry.total_satellites for shell in telesat_shells())
 
 
+@scenario("telesat-lightspeed")
 def telesat_configuration(
     duration_s: float = 600.0,
     update_interval_s: float = 2.0,

@@ -18,6 +18,7 @@ from repro.core.config import (
     GroundStationConfig,
     HostConfig,
 )
+from repro.experiments.registry import scenario
 from repro.orbits import Epoch, GroundStation
 from repro.scenarios.starlink import STARLINK_BANDWIDTH_KBPS, starlink_phase1_shells
 
@@ -48,6 +49,7 @@ def west_africa_bounding_box() -> BoundingBox:
     return BoundingBox(lat_min=-2.0, lat_max=16.0, lon_min=-8.0, lon_max=18.0)
 
 
+@scenario("west-africa-meetup")
 def west_africa_configuration(
     duration_s: float = 600.0,
     update_interval_s: float = 2.0,

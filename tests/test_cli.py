@@ -51,7 +51,10 @@ class TestParser:
 
     def test_known_subcommands(self):
         parser = build_parser()
-        for command in ("validate", "snapshot", "meetup", "dart", "handover", "cost"):
+        for command in (
+            "validate", "snapshot", "scenarios", "run", "meetup", "dart",
+            "handover", "cost",
+        ):
             assert command in parser.format_help()
 
 
@@ -133,3 +136,68 @@ class TestExperimentCommands:
         output = capsys.readouterr().out
         assert exit_code == 0
         assert "celestial_usd" in output
+
+
+_SPEC_TOML = """
+name = "cli-spec-smoke"
+
+[scenario]
+name = "pacific-dart"
+
+[scenario.params]
+buoy_count = 4
+deployment = "central"
+duration_s = 20.0
+sink_count = 8
+
+[workload]
+app = "dart"
+
+[workload.params]
+deployment = "central"
+group_count = 2
+
+[metrics]
+outputs = ["summary", "latency-csv"]
+"""
+
+
+class TestDeclarativeCommands:
+    def test_scenarios_command(self, capsys):
+        exit_code = main(["scenarios"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        for name in ("iridium", "pacific-dart", "west-africa-meetup"):
+            assert name in output
+
+    def test_run_command_writes_bundle(self, tmp_path, capsys):
+        spec_path = tmp_path / "experiment.toml"
+        spec_path.write_text(_SPEC_TOML)
+        output_dir = tmp_path / "results"
+        exit_code = main(["run", str(spec_path), "--output-dir", str(output_dir)])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "DART experiment" in output
+        assert (output_dir / "result.json").exists()
+        assert (output_dir / "latency_dart.csv").exists()
+
+    def test_run_command_no_output(self, tmp_path, capsys):
+        spec_path = tmp_path / "experiment.toml"
+        spec_path.write_text(_SPEC_TOML)
+        exit_code = main(["run", str(spec_path), "--no-output", "--duration", "15"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "15s" in output
+        assert "wrote" not in output
+
+    def test_run_command_matches_dart_subcommand(self, tmp_path, capsys):
+        main([
+            "dart", "--deployment", "central", "--buoys", "4", "--sinks", "8",
+            "--duration", "20",
+        ])
+        direct = capsys.readouterr().out
+        spec_path = tmp_path / "experiment.toml"
+        spec_path.write_text(_SPEC_TOML)
+        main(["run", str(spec_path), "--no-output"])
+        declarative = capsys.readouterr().out
+        assert declarative == direct
