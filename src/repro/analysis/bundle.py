@@ -43,6 +43,7 @@ def write_experiment_bundle(result, output_dir: str | Path) -> list[Path]:
         "title": result.title,
         "metrics": [[label, _json_value(value)] for label, value in result.metrics],
         "network": result.network_statistics,
+        "path_engine": result.path_statistics,
         "series": {
             name: {
                 "samples": len(series),

@@ -425,9 +425,20 @@ class ConstellationCalculation:
         incremental_paths: bool = True,
         cheap_geodetic_box: bool = True,
         eager_uplinks: bool = False,
+        max_carried_extra_tables: Optional[int] = None,
     ):
         self.config = config
         self.path_sources = path_sources
+        # Cap on lazily created single-source tables carried between
+        # epochs (None → the class default); always additionally bounded
+        # by EXTRA_TABLE_MEMORY_BUDGET_MB, see :meth:`_extra_table_cap`.
+        self.max_carried_extra_tables = (
+            max_carried_extra_tables
+            if max_carried_extra_tables is not None
+            else self.MAX_CARRIED_EXTRA_TABLES
+        )
+        if self.max_carried_extra_tables < 0:
+            raise ValueError("max_carried_extra_tables must be >= 0")
         # ``incremental_paths`` routes ``diff_since`` epochs through the
         # incremental shortest-path engine; ``cheap_geodetic_box`` enables
         # the certified geocentric bound in the bounding-box test;
@@ -762,8 +773,28 @@ class ConstellationCalculation:
 
         return _LazyUplinkTable(build)
 
-    #: Cap on lazily created single-source tables carried between epochs.
-    MAX_CARRIED_EXTRA_TABLES = 32
+    #: Default cap on lazily created single-source tables carried between
+    #: epochs.  The bounded regional re-solve kernel makes advancing an
+    #: extra table cost region-sized work instead of a cold row, so the
+    #: default is sized for all-satellites-as-sources workloads rather
+    #: than the handful the per-source ``csgraph`` fallback could afford.
+    MAX_CARRIED_EXTRA_TABLES = 256
+
+    #: Memory budget for carried extra tables.  Each single-source table
+    #: holds a distance row (float64), a predecessor row (int32), a
+    #: node-indexed tree-edge row (int64) and an edge-membership row
+    #: (bool per link), so the per-table footprint scales with the node
+    #: and link counts; the effective cap shrinks on very large graphs
+    #: so carried tables never dominate the epoch state.
+    EXTRA_TABLE_MEMORY_BUDGET_MB = 64
+
+    def _extra_table_cap(self, graph: NetworkGraph) -> int:
+        """Effective carry cap: the configured cap, memory-bounded."""
+        node_count = len(graph.index)
+        per_table_bytes = node_count * 20 + graph.total_links()
+        budget_bytes = self.EXTRA_TABLE_MEMORY_BUDGET_MB * 1024 * 1024
+        memory_cap = max(32, budget_bytes // max(per_table_bytes, 1))
+        return int(min(self.max_carried_extra_tables, memory_cap))
 
     def _state_from_epoch(
         self,
@@ -791,8 +822,9 @@ class ConstellationCalculation:
                 paths = engine.advance(previous.paths, graph, topology)
                 # Satellite-to-satellite query tables ride the same repair
                 # pipeline instead of being re-solved from scratch.
-                carried = list(previous._extra_paths.items())
-                for node, table in carried[-self.MAX_CARRIED_EXTRA_TABLES:]:
+                cap = self._extra_table_cap(graph)
+                carried = list(previous._extra_paths.items())[-cap:] if cap else []
+                for node, table in carried:
                     extra_paths[node] = engine.advance(table, graph, topology)
             else:
                 paths = engine.solve(graph)

@@ -106,6 +106,30 @@ class UpdateStats:
     #: Transport ack round-trip seconds per worker slot (process backends
     #: only; empty under the thread backend, which has no transport).
     worker_ack_seconds: dict[int, list[float]] = field(default_factory=dict)
+    #: Cumulative :class:`~repro.topology.paths.PathEngineStats` snapshot
+    #: of the calculation's path engine after the latest update.
+    path_engine_totals: dict[str, int] = field(default_factory=dict)
+    #: Per-update path-repair regime, derived from the engine's counter
+    #: deltas: ``"bypass"`` (churn guard cold-solved), ``"structural"``
+    #: / ``"repair"`` (the engine repaired a structural / delay-only
+    #: diff), ``"reuse"`` (empty diff), ``"cold"`` (full solve, e.g. the
+    #: first epoch) or ``"none"`` (no engine activity).
+    path_regimes: list[str] = field(default_factory=list)
+
+    def record_path_engine(self, before: dict[str, int], after: dict[str, int]) -> None:
+        """Fold one update's path-engine counter delta into the stats."""
+        self.path_engine_totals = after
+        for regime, counter in (
+            ("bypass", "bypassed_epochs"),
+            ("structural", "structural_epochs"),
+            ("repair", "repaired_epochs"),
+            ("reuse", "empty_reuses"),
+            ("cold", "cold_solves"),
+        ):
+            if after.get(counter, 0) > before.get(counter, 0):
+                self.path_regimes.append(regime)
+                return
+        self.path_regimes.append("none")
 
     @property
     def mean_wallclock_s(self) -> float:
@@ -455,12 +479,16 @@ class Coordinator:
         concurrently.
         """
         started = wallclock.perf_counter()
+        engine = getattr(self.calculation, "path_engine", None)
+        engine_before = engine.stats.snapshot() if engine is not None else {}
         previous = self.database.state if self.database.has_state else None
         if previous is None or not self.incremental:
             state = self.calculation.state_at(now_s)
             diff = None
         else:
             state, diff = self.calculation.diff_since(previous, now_s)
+        if engine is not None:
+            self.stats.record_path_engine(engine_before, engine.stats.snapshot())
         self.database.set_state(state, diff=diff)
         if diff is None:
             self._ensure_active_satellites(state, now_s)

@@ -199,6 +199,23 @@ class Celestial:
             "dropped": self.network.messages_dropped,
         }
 
+    def path_engine_statistics(self) -> dict:
+        """Path-engine solver/kernel counters and per-update repair regimes.
+
+        ``totals`` is the cumulative
+        :class:`~repro.topology.paths.PathEngineStats` snapshot (solver
+        calls, kernel calls, repaired rows, churn-guard bypasses, cache
+        hits); ``regimes`` counts which path-repair regime each
+        coordinator update took.
+        """
+        regimes: dict[str, int] = {}
+        for regime in self.coordinator.stats.path_regimes:
+            regimes[regime] = regimes.get(regime, 0) + 1
+        return {
+            "totals": dict(self.coordinator.stats.path_engine_totals),
+            "regimes": regimes,
+        }
+
     def booted_machines(self) -> int:
         """Number of microVMs created across all hosts."""
         return sum(len(host.machines) for host in self.hosts)

@@ -61,6 +61,10 @@ class ExperimentResult:
     resource_traces: dict[int, Any] = field(default_factory=dict)
     #: Data-plane counters of the virtual network.
     network_statistics: dict[str, int] = field(default_factory=dict)
+    #: Path-engine solver/kernel counters and per-update repair regimes
+    #: (``{"totals": {...}, "regimes": {...}}``) — which path-repair
+    #: regime the run's epochs took.
+    path_statistics: dict = field(default_factory=dict)
     #: Files written by the result bundle (empty without an output dir).
     output_paths: list[Path] = field(default_factory=list)
 
@@ -281,6 +285,10 @@ def _run_handover(spec: ExperimentSpec, config: Configuration) -> ExperimentResu
         title=f"Uplink handovers of {station} over {duration_s:.0f}s",
         metrics=metrics,
         raw=analysis,
+        path_statistics={
+            "totals": calculation.path_engine.stats.snapshot(),
+            "regimes": {},
+        },
     )
 
 
@@ -344,6 +352,7 @@ class ExperimentRunner:
                 fault_interpreters=interpreters,
                 resource_traces=testbed.resource_traces(),
                 network_statistics=testbed.network_statistics(),
+                path_statistics=testbed.path_engine_statistics(),
             )
         finally:
             testbed.close()

@@ -210,16 +210,20 @@ class TopologyDiff:
         ):
             id_map = np.arange(previous._node_a.size, dtype=np.int64)
         else:
-            _, in_current, in_previous = np.intersect1d(
-                current._sorted_keys,
-                previous._sorted_keys,
-                assume_unique=True,
-                return_indices=True,
+            # Both key arrays are sorted and unique, so one searchsorted
+            # pass matches them — noticeably cheaper than ``intersect1d``,
+            # which concatenates and re-sorts the union.
+            positions = np.searchsorted(
+                current._sorted_keys, previous._sorted_keys
+            )
+            positions[positions >= current._sorted_keys.size] = 0
+            surviving = (
+                current._sorted_keys[positions] == previous._sorted_keys
             )
             id_map = np.full(previous._node_a.size, -1, dtype=np.int64)
-            id_map[previous._sorted_edge_ids[in_previous]] = current._sorted_edge_ids[
-                in_current
-            ]
+            id_map[previous._sorted_edge_ids[surviving]] = (
+                current._sorted_edge_ids[positions[surviving]]
+            )
         self._id_map_cache.append(id_map)
         return id_map
 
@@ -347,6 +351,8 @@ class NetworkGraph:
         self._adj_nodes: Optional[np.ndarray] = None
         self._adj_edges: Optional[np.ndarray] = None
         self._clamped_delays: Optional[np.ndarray] = None
+        self._adj_weights: Optional[np.ndarray] = None
+        self._adj_lists: Optional[tuple[list, list, list]] = None
         self._links_view: Optional[list[Link]] = None
         if links is not None:
             for link in links:
@@ -490,6 +496,8 @@ class NetworkGraph:
         self._adj_edges = None
         self._csr_template = None
         self._clamped_delays = None
+        self._adj_weights = None
+        self._adj_lists = None
 
     def _finalize(self) -> None:
         """Concatenate pending chunks and deduplicate node pairs (min delay)."""
@@ -739,6 +747,105 @@ class NetworkGraph:
         """
         self._build_adjacency()
         return self._adj_indptr, self._adj_nodes, self._adj_edges
+
+    def carry_adjacency_from(self, diff: "TopologyDiff") -> None:
+        """Derive this graph's CSR adjacency from the previous epoch's.
+
+        Steady epochs share the previous graph's arrays outright (the
+        edge ids align when the key layout is unchanged); structural
+        epochs patch them — dropping the removed entries, splicing in the
+        added ones via one ``searchsorted``/``insert`` pass — instead of
+        re-sorting the full endpoint arrays.  No-op when this graph
+        already built its adjacency, the previous epoch never built one,
+        or the diff does not belong to this graph pair.
+        """
+        if self._adj_indptr is not None or diff.current is not self:
+            return
+        previous = diff.previous
+        if (
+            previous._adj_indptr is None
+            or previous._node_count != self._node_count
+        ):
+            return
+        self._finalize()
+        previous._finalize()
+        if previous._keys is self._keys or np.array_equal(
+            previous._keys, self._keys
+        ):
+            self._adj_indptr = previous._adj_indptr
+            self._adj_nodes = previous._adj_nodes
+            self._adj_edges = previous._adj_edges
+            return
+        mapped = diff.edge_id_map()[previous._adj_edges]
+        neighbors = previous._adj_nodes
+        endpoints = np.repeat(
+            np.arange(self._node_count, dtype=np.int64),
+            np.diff(previous._adj_indptr),
+        )
+        if diff.links_removed.size:
+            keep = mapped >= 0
+            mapped = mapped[keep]
+            neighbors = neighbors[keep]
+            endpoints = endpoints[keep]
+        added = diff.links_added
+        degrees = np.bincount(endpoints, minlength=self._node_count)
+        if added.size:
+            add_endpoints = np.concatenate(
+                [self._node_a[added], self._node_b[added]]
+            )
+            add_neighbors = np.concatenate(
+                [self._node_b[added], self._node_a[added]]
+            )
+            add_ids = np.concatenate([added, added]).astype(mapped.dtype)
+            order = np.argsort(add_endpoints, kind="stable")
+            positions = np.searchsorted(endpoints, add_endpoints[order])
+            # One mask-based splice filling both arrays, instead of two
+            # ``np.insert`` passes over the full adjacency.
+            new_slots = positions + np.arange(positions.size)
+            keep_mask = np.ones(neighbors.size + positions.size, dtype=bool)
+            keep_mask[new_slots] = False
+            out_neighbors = np.empty(keep_mask.size, dtype=neighbors.dtype)
+            out_ids = np.empty(keep_mask.size, dtype=mapped.dtype)
+            out_neighbors[keep_mask] = neighbors
+            out_neighbors[new_slots] = add_neighbors[order]
+            out_ids[keep_mask] = mapped
+            out_ids[new_slots] = add_ids[order]
+            neighbors, mapped = out_neighbors, out_ids
+            degrees += np.bincount(add_endpoints, minlength=self._node_count)
+        self._adj_indptr = np.concatenate([[0], np.cumsum(degrees)])
+        self._adj_nodes = neighbors
+        self._adj_edges = mapped
+
+    def adjacency_weights(self) -> np.ndarray:
+        """Clamped solver weights gathered into CSR adjacency order.
+
+        ``adjacency_weights()[p]`` is the weight of the edge at adjacency
+        position ``p`` of :meth:`adjacency_arrays` — the per-position
+        gather the regional re-solve kernel needs, done once per epoch
+        graph instead of once per repaired table.
+        """
+        if self._adj_weights is None:
+            self._build_adjacency()
+            self._adj_weights = self.clamped_delays_ms()[self._adj_edges]
+        return self._adj_weights
+
+    def adjacency_lists(self) -> tuple[list, list, list]:
+        """CSR adjacency as plain Python lists ``(indptr, nodes, weights)``.
+
+        The path engine's Python-level heap repair iterates these per
+        settled node; list indexing beats NumPy scalar indexing there by
+        an order of magnitude.  Cached per graph so the conversion is
+        paid once per epoch even when many tables (the main table plus
+        the carried single-source extras) repair against the same graph.
+        """
+        if self._adj_lists is None:
+            indptr, adj_nodes, _ = self.adjacency_arrays()
+            self._adj_lists = (
+                indptr.tolist(),
+                adj_nodes.tolist(),
+                self.adjacency_weights().tolist(),
+            )
+        return self._adj_lists
 
     def edge_membership(
         self, rows: np.ndarray, edge_ids: np.ndarray, row_count: int

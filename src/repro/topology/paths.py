@@ -24,24 +24,39 @@ epoch's :class:`~repro.topology.graph.TopologyDiff`:
 * **none** — the diff is empty (or touches only bandwidths): the previous
   trees are returned verbatim, rebound to the new graph.  Zero solver work.
 * **repair** — delays moved and/or a few links appeared or disappeared:
-  the previous predecessor forest is *re-summed* with the new weights (one
-  level-ordered vectorised pass per tree depth), then every edge is checked
-  against the Bellman optimality condition ``d[v] <= d[u] + w(u, v)``.
-  Sources without violations are done — their re-summed rows are exact.
-  Violated rows are repaired by a Ramalingam–Reps-style re-relaxation
-  restricted to the affected subtrees (a heap-based Dijkstra seeded from
-  the violated edges); a row falls back to a batched ``csgraph.dijkstra``
-  when the touched fraction exceeds ``repair_threshold`` or a violation's
-  finite undercut reaches ``solver_handoff_gain_ms`` (a new/disappeared
-  link re-hanging a whole region — C-solver territory).
+  the previous distances are carried forward directly.  They stay exact
+  wherever the supporting tree path survived unchanged; nodes whose tree
+  path lost an edge or crosses a *raised* delay are invalidated to
+  ``inf`` (the whole severed subtree, found by pointer-doubling the
+  ancestor chain of the directly hit nodes — ``O(log depth)`` full-array
+  gathers, no forest rebuild).  Seeds are then exactly the edges that can
+  improve something: the finite→``inf`` boundary of the invalidated
+  region (gathered from the CSR adjacency of the hit nodes) plus every
+  added or delay-decreased edge checked against all rows.  Unchanged
+  edges between two carried finite values cannot violate Bellman
+  optimality — both endpoints kept their previous fixed-point values —
+  so no full edge scan is needed.  All violated rows of a table are then
+  repaired in one batched call to the **bounded regional re-solve
+  kernel** (:mod:`repro.topology._kernels`), which relaxes from the
+  violated edges and stays inside the affected region; only rows whose
+  violated-edge count reaches the node count (wholesale rewiring, where
+  a bounded traversal degenerates to a full one) fall back to a batched
+  ``csgraph.dijkstra``.  With the kernel disabled
+  (``kernel_backend=None``) rows are instead repaired by a
+  Ramalingam–Reps-style Python heap re-relaxation seeded from the
+  violated edges, handing off to the C solver when the touched fraction
+  exceeds ``repair_threshold`` or a violation's finite undercut reaches
+  ``solver_handoff_gain_ms`` (a new/disappeared link re-hanging a whole
+  region).
 * **rebuild** — incompatible tables (different sources/method, foreign
   graph) degrade to a cold solve.
 
 For delay-only diffs the engine first consults a reverse edge→tree
 membership index (built once per structure epoch from the CSR edge-id
 arrays, see :meth:`~repro.topology.graph.NetworkGraph.edge_membership`):
-sources whose trees traverse no changed edge keep their re-summed rows
-bitwise unchanged and only need the cheap decreased-edge check.
+sources whose trees traverse no raised edge have nothing to invalidate,
+so the whole hit-detection pass is skipped and only the cheap
+decreased-edge check runs against their carried rows.
 
 An adaptive churn guard watches the dispatch outcome: when most of a
 table's rows were handed to the C solver anyway, the constellation is in
@@ -60,11 +75,30 @@ The engine's output is **byte-identical in distances and reachability** to
 a cold solve on the same graph.  This holds exactly — not approximately —
 because IEEE-754 addition is monotone: a distance produced by Dijkstra is
 the minimum over all paths of the left-to-right floating-point sum of the
-(epsilon-clamped) hop delays.  The re-summed tree rows are such path sums;
-when no edge violates ``d[v] <= d[u] + w`` the standard optimality proof
-carries over verbatim to floats, so the row equals the cold solve bit for
-bit.  The heap repair relaxes to the same fixed point.  Predecessor trees
-may differ from a cold solve only between equal-delay alternatives.
+(epsilon-clamped) hop delays.  The carried rows are such path sums: a
+finite carried value is the previous fixed point, whose supporting tree
+path survived with every hop weight bitwise unchanged — the identical
+left-to-right sum in the current graph (a *decreased* hop weight is fine
+too: the decreased edge itself is a violated seed, and the strict
+improvement cascades down the subtree rewriting every descendant to a
+current path sum; where rounding absorbs the decrease, the old bytes
+*are* the current sum).  When no edge violates ``d[v] <= d[u] + w`` the
+standard optimality proof carries over verbatim to floats, so the row
+equals the cold solve bit for bit.  The heap repair relaxes to the same
+fixed point.  Predecessor trees may differ from a cold solve only
+between equal-delay alternatives.
+
+The argument extends unchanged to the bounded regional re-solve kernel:
+its input rows are carried path sums or ``inf`` (valid upper bounds),
+every relaxation it accepts writes the left-to-right float sum of an
+actual path, and it runs until no edge improves any value.  Because the
+constellation snaps delays to a binary ``2^-20`` ms grid before they
+reach the solvers, the no-improving-edge fixed point is the *unique*
+minimum over paths of the float path sum — independent of relaxation
+order — so the kernel's heap-ordered (Numba) and frontier-ordered
+(NumPy) implementations produce identical distance bytes, both equal to
+the cold solve (see the :mod:`repro.topology._kernels` docstring for the
+seeding-sufficiency proof).
 """
 
 from __future__ import annotations
@@ -76,6 +110,7 @@ from typing import Iterable, Literal, Optional, Sequence
 import numpy as np
 from scipy.sparse import csgraph
 
+from repro.topology import _kernels
 from repro.topology.graph import DELAY_EPSILON_MS, NetworkGraph, TopologyDiff
 
 #: Sentinel used by ``scipy.sparse.csgraph`` for "no predecessor" (the
@@ -108,72 +143,20 @@ class PathResult:
         return 2.0 * self.delay_ms
 
 
-class _TreeForest:
-    """Level-ordered view of a table's predecessor forest.
-
-    Nodes of all sources are flattened (``row * n + node``) and sorted by
-    tree depth, so one vectorised gather per depth level re-sums every
-    tree with new weights.  The forest depends only on the predecessor
-    arrays — not on the weights — and is therefore reused across epochs
-    until a repair or solve rewrites a predecessor row.
-    """
-
-    def __init__(self, predecessors: np.ndarray, sources: Sequence[int], n: int):
-        source_count = predecessors.shape[0]
-        tree_rows, tree_cols = np.nonzero(predecessors >= 0)
-        parents = predecessors[tree_rows, tree_cols].astype(np.int64)
-        node_flat = tree_rows * n + tree_cols
-        parent_flat = tree_rows * n + parents
-        # Depth via pointer doubling: `jump` starts at the parent (terminal
-        # nodes — roots and unreachables — point at themselves) and squares
-        # each round, so `depth` converges in O(log max_depth) full-array
-        # gathers instead of one pass per level.
-        jump = np.arange(source_count * n, dtype=np.int64)
-        jump[node_flat] = parent_flat
-        depth = np.zeros(source_count * n, dtype=np.int32)
-        depth[node_flat] = 1
-        for _ in range(64):
-            advanced = jump[jump]
-            if np.array_equal(advanced, jump):
-                break
-            depth += depth[jump]
-            jump = advanced
-        else:  # pragma: no cover - defensive (cycle)
-            raise RuntimeError("predecessor arrays contain a cycle")
-        order = np.argsort(depth[node_flat], kind="stable")
-        self.ordered_nodes = node_flat[order]
-        self.ordered_parents = parent_flat[order]
-        sorted_depth = depth[self.ordered_nodes]
-        max_depth = int(sorted_depth[-1]) if sorted_depth.size else 0
-        # bounds[d - 1] is the first position of depth d; the trailing
-        # entry (depth max + 1) closes the deepest level at the end.
-        bounds = np.searchsorted(sorted_depth, np.arange(1, max_depth + 2))
-        self.level_slices = [
-            (int(bounds[level]), int(bounds[level + 1]))
-            for level in range(max_depth)
-        ]
-        self.root_flat = np.arange(source_count, dtype=np.int64) * n + np.asarray(
-            sources, dtype=np.int64
-        )
-
-
 class _PathCaches:
     """Per-table engine caches, shared between rebound epoch views.
 
-    ``forest`` is keyed implicitly to the table's predecessor arrays (the
-    engine drops it whenever it rewrites a row); ``tree_edge_matrix``
-    holds, per ``(source row, node)``, the edge id of the node's tree edge
-    ``(pred, node)`` in the graph identified by ``edges_token`` (``-1``
-    for roots and unreachable nodes).  Being node-indexed, the matrix
-    survives predecessor rewrites through cheap point patches and
-    structural epochs through one ``edge_id_map`` gather.  The edge→tree
-    membership index is derived from it on demand.
+    ``tree_edge_matrix`` holds, per ``(source row, node)``, the edge id of
+    the node's tree edge ``(pred, node)`` in the graph identified by
+    ``edges_token`` (``-1`` for roots and unreachable nodes).  Being
+    node-indexed, the matrix survives predecessor rewrites through cheap
+    point patches and structural epochs through one ``edge_id_map``
+    gather.  The edge→tree membership index is derived from it on demand.
     """
 
-    __slots__ = ("forest", "edges_token", "tree_edge_matrix", "membership")
+    __slots__ = ("edges_token", "tree_edge_matrix", "membership")
 
     def __init__(self):
-        self.forest: Optional[_TreeForest] = None
         self.edges_token: Optional[object] = None
         self.tree_edge_matrix: Optional[np.ndarray] = None
         self.membership: Optional[np.ndarray] = None
@@ -317,13 +300,6 @@ class ShortestPaths:
 
     # -- engine cache plumbing ------------------------------------------
 
-    def _ensure_forest(self) -> _TreeForest:
-        if self._caches.forest is None:
-            self._caches.forest = _TreeForest(
-                self._predecessors, self.sources, len(self.graph.index)
-            )
-        return self._caches.forest
-
     def _tree_matrix_for(
         self, graph: NetworkGraph, diff: Optional[TopologyDiff] = None
     ) -> np.ndarray:
@@ -379,7 +355,11 @@ class PathEngineStats:
 
     ``solver_calls`` counts ``csgraph`` invocations (the benchmark's
     "zero Dijkstra solves on empty diffs" assertion); the ``rows_*``
-    counters attribute every published row to how it was produced.
+    counters attribute every published row to how it was produced
+    (``rows_kernel`` rows went through the batched bounded regional
+    re-solve, ``kernel_calls``/``kernel_settles`` size that work).  The
+    ``membership_*`` pair proves the edge→tree membership index is
+    carried across delay-only epochs instead of rebuilt per diff.
     """
 
     cold_solves: int = 0
@@ -388,10 +368,15 @@ class PathEngineStats:
     structural_epochs: int = 0
     bypassed_epochs: int = 0
     solver_calls: int = 0
+    kernel_calls: int = 0
     rows_solved: int = 0
     rows_reused: int = 0
     rows_repaired: int = 0
+    rows_kernel: int = 0
     heap_settles: int = 0
+    kernel_settles: int = 0
+    membership_rebuilds: int = 0
+    membership_reuses: int = 0
 
     def snapshot(self) -> dict[str, int]:
         """Plain-dict copy (JSON-serialisable, used by the benchmarks)."""
@@ -417,6 +402,7 @@ class PathEngine:
         method: Literal["dijkstra", "floyd-warshall"] = "dijkstra",
         repair_threshold: float = 0.25,
         solver_handoff_gain_ms: float = 0.05,
+        kernel_backend: Optional[str] = "auto",
     ):
         if not 0.0 <= repair_threshold <= 1.0:
             raise ValueError("repair threshold must be within [0, 1]")
@@ -424,19 +410,34 @@ class PathEngine:
         self.method = method
         self.repair_threshold = repair_threshold
         # Rows whose largest violation undercut reaches this magnitude are
-        # re-solved in C instead of re-relaxed in Python: gains that big
-        # (a link appeared/disappeared) re-hang whole regions, where the
-        # batched solver wins.  Purely a performance dial — results are
-        # byte-identical either way.
+        # handed off the Python re-relaxation: gains that big (a link
+        # appeared/disappeared) re-hang whole regions, which the batched
+        # bounded kernel repairs in one call.  Purely a performance dial —
+        # results are byte-identical either way.
         self.solver_handoff_gain_ms = solver_handoff_gain_ms
-        # Adaptive churn guard: when most rows of a table needed repair,
-        # the scan/verify machinery is pure overhead on top of near-full
-        # solver work, so the table's next few epochs cold-solve directly
-        # and the repair path is re-probed afterwards.  Keyed per table
-        # shape so the main and any extra single-source tables adapt
-        # independently.  Again a dial, never a correctness lever.
+        # Bounded regional re-solve kernel ("auto" → Numba when the
+        # [fast] extra is installed, the vectorised NumPy fallback
+        # otherwise; None/"off" → the per-source csgraph fallback).
+        self.kernel_backend = _kernels.resolve_backend(kernel_backend)
+        # Adaptive churn guard: when the epoch amounted to near-full
+        # solver work anyway — most rows went to csgraph, or the kernel's
+        # bounded traversal effectively swept the whole graph — the
+        # scan/verify machinery is pure overhead, so the table's next few
+        # epochs cold-solve directly and the repair path is re-probed
+        # afterwards.  Keyed per table shape so the main and any extra
+        # single-source tables adapt independently.  Again a dial, never
+        # a correctness lever.
         self.churn_bypass_threshold = 0.5
         self.churn_bypass_epochs = 8
+        # Kernel-regime analogue of the bypass threshold: the fraction of
+        # ``kernel rows × n`` settle events at which a "bounded" re-solve
+        # is judged to have degenerated into a full Python-speed solve.
+        # Wholesale churn (every satellite moves, whole trees re-hang)
+        # settles essentially every state, so it sits near 1.0; flicker
+        # chains that sever even large subtrees stay well below — 0.85
+        # separates the two regimes without ever bypassing a genuinely
+        # bounded repair.
+        self.churn_settle_fraction = 0.85
         self._bypass_remaining: dict[tuple, int] = {}
         self.stats = PathEngineStats()
 
@@ -499,34 +500,112 @@ class PathEngine:
 
         n = len(graph.index)
         weights = graph.clamped_delays_ms()
+        # Patch the CSR adjacency forward instead of re-sorting it from
+        # scratch — boundary-seed expansion and the kernel both need it.
+        graph.carry_adjacency_from(diff)
         tree_matrix = previous._tree_matrix_for(graph, diff)
-        forest = previous._ensure_forest()
-
-        # Re-sum the previous trees with the new weights, one vectorised
-        # gather per depth level.  Removed tree edges weigh ``inf``, which
-        # propagates down their whole subtree — exactly the set of nodes
-        # whose old path is gone.
-        distances = np.full(source_count * n, np.inf)
-        distances[forest.root_flat] = 0.0
-        matrix_flat = tree_matrix.reshape(-1)
-        node_weights = np.where(
-            matrix_flat >= 0, weights[np.maximum(matrix_flat, 0)], np.inf
-        )
-        ordered_weights = node_weights[forest.ordered_nodes]
-        for start, stop in forest.level_slices:
-            distances[forest.ordered_nodes[start:stop]] = (
-                distances[forest.ordered_parents[start:stop]]
-                + ordered_weights[start:stop]
-            )
-        distances = distances.reshape(source_count, n)
-
-        # Verification scope: on structural epochs every row is checked
-        # against every edge; on delay-only epochs the edge→tree
-        # membership index narrows the full check to sources whose tree
-        # traverses a changed edge, and the remaining rows only need the
-        # decreased-edge test (an increased non-tree edge cannot create a
-        # violation, and their re-summed rows are bitwise unchanged).
+        previous_predecessors = previous._predecessors
         node_a, node_b = graph.node_a, graph.node_b
+
+        # Classify the surviving changed-delay edges against the previous
+        # epoch's weights.  Steady chains share the sorted-key array
+        # object between epochs, making current ids valid previous ids;
+        # otherwise one pair lookup resolves them.
+        changed = diff.delay_changed
+        if changed.size:
+            if graph.structure_token is diff.previous.structure_token:
+                previous_ids = changed
+            else:
+                previous_ids = diff.previous.edge_ids_between(
+                    node_a[changed], node_b[changed]
+                )
+            previous_weights = np.maximum(
+                diff.previous.delays_ms[previous_ids], DELAY_EPSILON_MS
+            )
+            raised = changed[weights[changed] > previous_weights]
+            decreased = changed[weights[changed] < previous_weights]
+        else:
+            raised = decreased = changed
+
+        # Directly hit nodes: the tree edge above them disappeared or was
+        # delay-raised.  Every other node keeps its carried value (see the
+        # module docstring for why those stay bitwise exact).  On
+        # delay-only epochs the membership index narrows the gather to
+        # sources whose tree traverses a raised edge.
+        if diff.is_structural_noop:
+            # ``_tree_matrix_for`` above already synced the cache to this
+            # epoch's structure token, so a surviving membership index is
+            # valid here; count hits to prove the cross-epoch carry.
+            if previous._caches.membership is None:
+                self.stats.membership_rebuilds += 1
+            else:
+                self.stats.membership_reuses += 1
+            membership = previous._membership_for(graph, diff)
+            affected_rows = (
+                np.flatnonzero(membership[:, raised].any(axis=1))
+                if raised.size
+                else np.empty(0, dtype=np.int64)
+            )
+            self.stats.repaired_epochs += 1
+        else:
+            affected_rows = np.arange(source_count)
+            self.stats.structural_epochs += 1
+
+        # Invalidate the severed subtrees: close the directly hit set over
+        # descendants by pointer-doubling the predecessor chains (a
+        # no-change round means every hit ancestor has been seen).
+        hit = None
+        full = affected_rows.size == source_count
+        if affected_rows.size:
+            sub_matrix = tree_matrix if full else tree_matrix[affected_rows]
+            sub_pred = (
+                previous_predecessors
+                if full
+                else previous_predecessors[affected_rows]
+            )
+            raised_mask = np.zeros(weights.size, dtype=bool)
+            raised_mask[raised] = True
+            direct = (sub_matrix >= 0) & raised_mask[np.maximum(sub_matrix, 0)]
+            if not diff.is_structural_noop:
+                direct |= (sub_matrix < 0) & (sub_pred >= 0)
+            # Narrow to the rows that actually lost something before the
+            # closure: on a localized flicker most trees never touch the
+            # failed links, and the pointer-doubling gathers below cost
+            # O(rows × n) per round.
+            row_hit = direct.any(axis=1)
+            if row_hit.any():
+                if not row_hit.all():
+                    affected_rows = affected_rows[row_hit]
+                    direct = direct[row_hit]
+                    sub_pred = sub_pred[row_hit]
+                    full = affected_rows.size == source_count
+                k = affected_rows.size
+                hit = direct.reshape(-1)
+                flat_pred = sub_pred.reshape(-1).astype(np.int64)
+                index = np.arange(k * n, dtype=np.int64)
+                row_base = np.repeat(np.arange(k, dtype=np.int64) * n, n)
+                ancestor = np.where(flat_pred >= 0, row_base + flat_pred, index)
+                count, previous_count = int(np.count_nonzero(hit)), -1
+                while count != previous_count:
+                    np.logical_or(hit, hit[ancestor], out=hit)
+                    ancestor = ancestor[ancestor]
+                    previous_count, count = count, int(np.count_nonzero(hit))
+
+        # Carry the previous distances, with the hit region pushed to
+        # ``inf``; the published array is only copied when something
+        # actually needs invalidating or repairing.
+        distances = previous._distances
+        owned = False
+        if hit is not None:
+            hit2d = hit.reshape(affected_rows.size, n)
+            if full:
+                invalid = hit2d
+            else:
+                invalid = np.zeros((source_count, n), dtype=bool)
+                invalid[affected_rows] = hit2d
+            distances = np.where(invalid, np.inf, distances)
+            owned = True
+
         collected: list[tuple[np.ndarray, ...]] = []
 
         def _collect(rows: np.ndarray, edge_ids: Optional[np.ndarray]) -> None:
@@ -567,41 +646,55 @@ class PathEngine:
                 ]),
             ))
 
-        if diff.is_structural_noop:
-            changed = diff.delay_changed
-            membership = previous._membership_for(graph, diff)
-            tree_affected = (
-                membership[:, changed].any(axis=1)
-                if changed.size
-                else np.zeros(source_count, dtype=bool)
-            )
-            # ``changed`` holds *current*-graph edge ids; resolve the old
-            # weights through the previous graph's own pair lookup instead
-            # of assuming the two epochs share edge-id order.
-            previous_ids = diff.previous.edge_ids_between(
-                node_a[changed], node_b[changed]
-            )
-            previous_weights = np.maximum(
-                diff.previous.delays_ms[previous_ids], DELAY_EPSILON_MS
-            )
-            decreased = changed[weights[changed] < previous_weights]
-            _collect(np.nonzero(tree_affected)[0], None)
-            _collect(np.nonzero(~tree_affected)[0], decreased)
-            self.stats.repaired_epochs += 1
-        else:
-            _collect(np.arange(source_count), None)
-            self.stats.structural_epochs += 1
+        # Seeds, part 1 — the finite→inf boundary of the invalidated
+        # region: every edge from a still-finite node into a hit node is a
+        # violation by construction (finite + w < inf), so it goes in
+        # unchecked with gain ``inf``.
+        if hit is not None:
+            indptr, adj_nodes, adj_edges = graph.adjacency_arrays()
+            local_rows, hit_nodes = np.nonzero(hit2d)
+            hit_rows = local_rows if full else affected_rows[local_rows]
+            starts = indptr[hit_nodes]
+            counts = indptr[hit_nodes + 1] - starts
+            total = int(counts.sum())
+            if total:
+                positions = (
+                    np.repeat(starts - (np.cumsum(counts) - counts), counts)
+                    + np.arange(total)
+                )
+                boundary_rows = np.repeat(hit_rows, counts)
+                boundary_parents = adj_nodes[positions]
+                finite = np.isfinite(distances[boundary_rows, boundary_parents])
+                if finite.any():
+                    collected.append((
+                        boundary_rows[finite],
+                        boundary_parents[finite],
+                        np.repeat(hit_nodes, counts)[finite],
+                        adj_edges[positions][finite],
+                        np.full(int(np.count_nonzero(finite)), np.inf),
+                    ))
+
+        # Seeds, part 2 — every added or delay-decreased edge, checked
+        # against all rows.  No other edge can violate Bellman optimality
+        # between two carried finite values (module docstring).
+        improving = decreased
+        if not diff.is_structural_noop and diff.links_added.size:
+            improving = np.concatenate([diff.links_added, decreased])
+        _collect(np.arange(source_count), improving)
 
         if not collected:
-            # No row needed repair: predecessors are untouched, so the
-            # tree-edge and membership caches stay valid for the next
-            # epoch.
+            # No violated edge anywhere: predecessors are untouched, so
+            # the tree-edge and membership caches stay valid for the next
+            # epoch.  (An invalidated region with no finite boundary is
+            # genuinely unreachable — its ``inf`` rows are final.)
             self.stats.rows_reused += source_count
             return ShortestPaths._from_arrays(
                 graph, previous.sources, "dijkstra", distances,
                 previous._predecessors, caches=previous._caches,
             )
 
+        if not owned:
+            distances = distances.copy()
         seed_rows = np.concatenate([c[0] for c in collected])
         seed_parents = np.concatenate([c[1] for c in collected])
         seed_children = np.concatenate([c[2] for c in collected])
@@ -618,27 +711,42 @@ class PathEngine:
         np.maximum.at(row_gain, seed_rows[finite_gains], seed_gains[finite_gains])
 
         predecessors = previous._predecessors.copy()
-        budget = max(32, int(self.repair_threshold * n))
+        # A zero threshold disables the Python heap entirely (every seeded
+        # row goes straight to the kernel / solver).
+        budget = (
+            max(32, int(self.repair_threshold * n))
+            if self.repair_threshold > 0
+            else 0
+        )
+        if self.kernel_backend is not None:
+            # With the batched kernel available the Python heap walk is
+            # never the best tool — even tiny repairs batch into the one
+            # kernel call more cheaply than they interpret, and skipping
+            # the heap also skips materialising the adjacency lists.
+            budget = 0
         solver_rows: list[int] = []
+        kernel_rows: list[int] = []
         adjacency_lists: Optional[tuple[list, list, list]] = None
         for row in violated_rows.tolist():
-            # Rows hit by a large rewrite (a link appearing/disappearing
-            # shifts delays by whole milliseconds and re-hangs a big
-            # region) go straight to the C solver; the Python re-relaxation
-            # only pays for the frequent small repairs.
+            # With the kernel enabled (budget 0) every violated row joins
+            # the batched bounded kernel call; the Python re-relaxation
+            # below only serves the kernel-disabled configuration, where
+            # it pays for the frequent small repairs.  Rows whose
+            # violated-edge count reaches the node count are wholesale
+            # rewires — a bounded traversal would sweep the whole graph
+            # at Python/NumPy speed, so they go to the C solver instead
+            # (as does everything when the kernel is disabled).
             if (
                 seed_counts[row] > budget
                 or row_gain[row] >= self.solver_handoff_gain_ms
             ):
-                solver_rows.append(row)
+                if self.kernel_backend is None or seed_counts[row] >= n:
+                    solver_rows.append(row)
+                else:
+                    kernel_rows.append(row)
                 continue
             if adjacency_lists is None:
-                indptr, adj_nodes, adj_edges = graph.adjacency_arrays()
-                adjacency_lists = (
-                    indptr.tolist(),
-                    adj_nodes.tolist(),
-                    weights[adj_edges].tolist(),
-                )
+                adjacency_lists = graph.adjacency_lists()
             mask = seed_rows == row
             seeds = list(zip(
                 seed_parents[mask].tolist(),
@@ -649,7 +757,10 @@ class PathEngine:
                 *adjacency_lists, weights, distances[row], seeds, budget
             )
             if repair is None:
-                solver_rows.append(row)
+                if self.kernel_backend is None:
+                    solver_rows.append(row)
+                else:
+                    kernel_rows.append(row)
                 continue
             settles, improved, new_parents = repair
             if improved:
@@ -662,6 +773,15 @@ class PathEngine:
                 )
             self.stats.rows_repaired += 1
             self.stats.heap_settles += settles
+        kernel_settles = 0
+        if kernel_rows:
+            kernel_settles = self._kernel_resolve(
+                graph, weights, distances, predecessors, kernel_rows,
+                seed_rows, seed_parents, seed_children, seed_edges,
+            )
+            self.stats.kernel_calls += 1
+            self.stats.rows_kernel += len(kernel_rows)
+            self.stats.kernel_settles += kernel_settles
         if solver_rows:
             solved_distances, solved_predecessors = csgraph.dijkstra(
                 graph.delay_matrix(),
@@ -674,36 +794,114 @@ class PathEngine:
             self.stats.solver_calls += 1
             self.stats.rows_solved += len(solver_rows)
         self.stats.rows_reused += source_count - violated_rows.size
-        # Bypass trigger: when most rows went to the C solver anyway, the
-        # scan/verify machinery was pure overhead on top of a near-full
-        # solve — cold-solve the next few epochs and re-probe after.
+        # Bypass triggers: when the epoch amounted to near-full solver
+        # work anyway — most rows went to the C solver, or the kernel's
+        # bounded traversal settled a large fraction of ``rows × n``
+        # (wholesale churn, where csgraph's C loop beats it) — the
+        # scan/verify machinery was pure overhead: cold-solve the next
+        # few epochs and re-probe after.
         if (
             len(solver_rows) >= 3
             and len(solver_rows) >= self.churn_bypass_threshold * source_count
+        ) or (
+            len(kernel_rows) >= 3
+            and len(kernel_rows) >= self.churn_bypass_threshold * source_count
+            and kernel_settles >= self.churn_settle_fraction * len(kernel_rows) * n
         ):
             self._bypass_remaining[guard_key] = self.churn_bypass_epochs
-        caches = self._patched_caches(graph, tree_matrix, previous._predecessors, predecessors)
+        caches = self._patched_caches(
+            graph, tree_matrix, previous._caches, previous._predecessors, predecessors
+        )
         return ShortestPaths._from_arrays(
             graph, previous.sources, "dijkstra", distances, predecessors,
             caches=caches,
         )
 
+    def _kernel_resolve(
+        self,
+        graph: NetworkGraph,
+        weights: np.ndarray,
+        distances: np.ndarray,
+        predecessors: np.ndarray,
+        kernel_rows: list[int],
+        seed_rows: np.ndarray,
+        seed_parents: np.ndarray,
+        seed_children: np.ndarray,
+        seed_edges: np.ndarray,
+    ) -> int:
+        """Repair all handed-off rows in one batched bounded kernel call.
+
+        The rows are compacted into a flat ``(len(kernel_rows) * n,)``
+        distance/predecessor view seeded with their violated edges; the
+        kernel relaxes to the cold-solve fixed point while the old
+        distances bound the traversal to the affected region (see
+        :mod:`repro.topology._kernels`).  Returns the settle count.
+        """
+        indptr, adj_nodes, _ = graph.adjacency_arrays()
+        adj_weights = graph.adjacency_weights()
+        n = distances.shape[1]
+        rows = np.asarray(kernel_rows, dtype=np.int64)
+        if rows.size == distances.shape[0]:
+            # Every row was handed off (then every seed belongs to a
+            # kernel row): the flat views alias the published arrays, so
+            # the kernel writes land in place and nothing scatters back.
+            return _kernels.bounded_regional_resolve(
+                indptr, adj_nodes, adj_weights, n,
+                distances.reshape(-1), predecessors.reshape(-1),
+                seed_rows * n + seed_parents,
+                seed_rows * n + seed_children,
+                weights[seed_edges],
+                backend=self.kernel_backend,
+            )
+        compact = np.full(distances.shape[0], -1, dtype=np.int64)
+        compact[rows] = np.arange(rows.size, dtype=np.int64)
+        mapped = compact[seed_rows]
+        selected = mapped >= 0
+        flat_base = mapped[selected] * n
+        sub_distances = distances[rows].reshape(-1)
+        sub_predecessors = predecessors[rows].reshape(-1)
+        settles = _kernels.bounded_regional_resolve(
+            indptr, adj_nodes, adj_weights, n,
+            sub_distances, sub_predecessors,
+            flat_base + seed_parents[selected],
+            flat_base + seed_children[selected],
+            weights[seed_edges[selected]],
+            backend=self.kernel_backend,
+        )
+        distances[rows] = sub_distances.reshape(rows.size, n)
+        predecessors[rows] = sub_predecessors.reshape(rows.size, n)
+        return settles
+
     @staticmethod
     def _patched_caches(
         graph: NetworkGraph,
         tree_matrix: np.ndarray,
+        previous_caches: _PathCaches,
         old_predecessors: np.ndarray,
         new_predecessors: np.ndarray,
     ) -> _PathCaches:
-        """Tree-edge matrix for the next epoch, patched where pred changed.
+        """Caches for the next epoch, patched where predecessors changed.
 
         Repairs touch a small fraction of the predecessor entries, so the
-        node-indexed matrix is point-patched instead of rebuilt.
+        node-indexed tree-edge matrix is point-patched instead of
+        rebuilt — and when the previous epoch's edge→tree membership
+        index is still valid for this structure token (delay-only
+        chains), its rows are patched the same way instead of dropping
+        the index and rebuilding it on the next delay diff.
         """
         caches = _PathCaches()
         caches.edges_token = graph.structure_token
         matrix = tree_matrix.copy()
-        rows, cols = np.nonzero(new_predecessors != old_predecessors)
+        # A node that went unreachable keeps its last predecessor (no
+        # repair overwrites it), so when a later epoch reconnects it
+        # through the SAME parent the pred diff alone cannot see it even
+        # though its matrix entry went -1 with the vanished edge.  Re-do
+        # the lookup for every -1 entry claiming a parent: a spurious
+        # edge id on a still-unreachable node merely over-invalidates an
+        # inf cell later, while a spurious -1 here would let a raised
+        # tree edge slip past the direct-hit scan.
+        stale = (matrix < 0) & (new_predecessors >= 0)
+        rows, cols = np.nonzero((new_predecessors != old_predecessors) | stale)
         parents = new_predecessors[rows, cols].astype(np.int64)
         matrix[rows, cols] = -1
         valid = parents >= 0
@@ -712,6 +910,18 @@ class PathEngine:
                 parents[valid], cols[valid]
             )
         caches.tree_edge_matrix = matrix
+        old_membership = previous_caches.membership
+        if (
+            old_membership is not None
+            and previous_caches.edges_token is caches.edges_token
+        ):
+            membership = old_membership.copy()
+            changed_rows = np.unique(rows)
+            membership[changed_rows] = False
+            sub = matrix[changed_rows]
+            sub_rows, sub_cols = np.nonzero(sub >= 0)
+            membership[changed_rows[sub_rows], sub[sub_rows, sub_cols]] = True
+            caches.membership = membership
         return caches
 
     @staticmethod

@@ -145,6 +145,31 @@ class TestEngineOnSyntheticChains:
         assert advanced._predecessors is table._predecessors
         assert advanced.graph is clone
 
+    def test_membership_index_carried_across_delay_only_epochs(self):
+        """The edge→tree membership index survives delay-only chains.
+
+        With the structure token shared between epochs (the production
+        ``structure_from`` carry) the reverse index must be built at most
+        once and point-patched after — the reuse counter proves the
+        cross-epoch carry instead of a silent per-diff rebuild.
+        """
+        rng = np.random.default_rng(7)
+        index = NodeIndex([40], ["g0", "g1", "g2"])
+        sources = list(index.ground_station_indices())
+        engine = PathEngine(sources=sources)
+        engine.churn_bypass_threshold = 2.0
+        graph = self._random_graph(rng, index, 40, 3)
+        table = engine.solve(graph)
+        for _ in range(15):
+            changed = self._mutated(rng, index, graph, "localized")
+            diff = changed.diff_from(graph)
+            assert diff.is_structural_noop
+            table = engine.advance(table, changed, diff)
+            _assert_tables_identical(table, changed, sources)
+            graph = changed
+        assert engine.stats.membership_reuses > 0
+        assert engine.stats.membership_rebuilds <= 1
+
     def test_bandwidth_only_diff_is_a_none_dispatch(self):
         rng = np.random.default_rng(1)
         index = NodeIndex([20], ["g0", "g1"])
@@ -163,7 +188,9 @@ class TestEngineOnSyntheticChains:
         rng = np.random.default_rng(2)
         index = NodeIndex([30], ["g0", "g1", "g2"])
         sources = list(index.ground_station_indices())
-        engine = PathEngine(sources=sources, repair_threshold=0.0)
+        engine = PathEngine(
+            sources=sources, repair_threshold=0.0, kernel_backend=None
+        )
         graph = self._random_graph(rng, index, 30, 3)
         table = engine.solve(graph)
         for _ in range(25):
@@ -303,6 +330,49 @@ class TestEngineOnConstellations:
         # ...and answers byte-identically to a cold single-source solve.
         reference = ShortestPaths(state.graph, sources=[node])
         assert state.delay_ms(a, b) == reference.delay_ms(node, state.node_for(b))
+
+    def test_more_than_thirty_two_extra_tables_are_carried(self):
+        """The lifted cap carries well over 32 satellite tables per epoch."""
+        config = dart_configuration(buoy_count=4, sink_count=4, duration_s=600.0)
+        calculation = ConstellationCalculation(config)
+        assert calculation.max_carried_extra_tables > 32
+        state = calculation.state_at(0.0)
+        probe = calculation.satellite(0, 0)
+        satellites = [calculation.satellite(0, i) for i in range(1, 41)]
+        for satellite in satellites:
+            state.delay_ms(satellite, probe)  # creates a cached extra table
+        assert len(state._extra_paths) == 40
+        cold_solves = calculation.path_engine.stats.cold_solves
+        state, _ = calculation.diff_since(state, 5.0)
+        # Every table rode the diff pipeline (no cold re-solves) ...
+        assert len(state._extra_paths) == 40
+        assert calculation.path_engine.stats.cold_solves == cold_solves
+        # ... and answers byte-identically to a cold single-source solve.
+        for satellite in satellites[::13]:
+            node = state.node_for(satellite)
+            reference = ShortestPaths(state.graph, sources=[node])
+            assert state.delay_ms(satellite, probe) == reference.delay_ms(
+                node, state.node_for(probe)
+            )
+
+    def test_extra_table_cap_is_configurable_and_memory_bounded(self):
+        config = dart_configuration(buoy_count=4, sink_count=4, duration_s=600.0)
+        limited = ConstellationCalculation(config, max_carried_extra_tables=2)
+        state = limited.state_at(0.0)
+        probe = limited.satellite(0, 0)
+        for i in range(1, 6):
+            state.delay_ms(limited.satellite(0, i), probe)
+        assert len(state._extra_paths) == 5
+        state, _ = limited.diff_since(state, 5.0)
+        assert len(state._extra_paths) == 2  # most recent two survive
+        # The memory guard wins over a huge configured cap on any graph.
+        greedy = ConstellationCalculation(config, max_carried_extra_tables=10**9)
+        cap = greedy._extra_table_cap(state.graph)
+        per_table = len(state.graph.index) * 20 + state.graph.total_links()
+        budget = greedy.EXTRA_TABLE_MEMORY_BUDGET_MB * 1024 * 1024
+        assert cap == max(32, budget // per_table)
+        with pytest.raises(ValueError):
+            ConstellationCalculation(config, max_carried_extra_tables=-1)
 
     def test_engine_survives_keyframe_replay(self):
         """A retained keyframe state can seed a replay of the diff chain."""

@@ -1,0 +1,213 @@
+"""Property suite for the bounded regional re-solve kernel.
+
+Randomized ISL flicker plus uplink handover churn drives the kernel path
+(``repro.topology._kernels``) through ≥50-epoch chains on the Iridium and
+Starlink constellations, asserting byte-identity of distances against a
+cold ``ShortestPaths`` solve after every epoch.  Both production backends
+are exercised — the vectorized NumPy frontier sweep and, when the
+``[fast]`` extra is installed, the Numba heap — along with the
+interpreted "python" reference heap the Numba leg compiles.  The Numba
+parametrization skips cleanly when numba is absent; nothing in the
+production import path requires it.
+"""
+
+import functools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConstellationCalculation
+from repro.scenarios import dart_configuration, west_africa_configuration
+from repro.topology import NetworkGraph, PathEngine, ShortestPaths
+from repro.topology import _kernels
+
+#: Every backend the kernel seam offers; the Numba leg skips when the
+#: ``[fast]`` extra is not installed instead of failing collection.
+BACKENDS = [
+    "numpy",
+    "python",
+    pytest.param(
+        "numba",
+        marks=pytest.mark.skipif(
+            not _kernels.HAVE_NUMBA,
+            reason="numba not installed (the optional [fast] extra)",
+        ),
+    ),
+]
+
+_ISL_CODE = 0
+_UPLINK_CODE = 1
+
+
+@functools.lru_cache(maxsize=None)
+def _base_graph(name):
+    """The epoch-0 constellation graph and its ground-station sources."""
+    if name == "iridium":
+        config = dart_configuration(buoy_count=5, sink_count=8, duration_s=600.0)
+    else:
+        config = west_africa_configuration(duration_s=600.0, shells="two-lowest")
+    calculation = ConstellationCalculation(config)
+    state = calculation.state_at(0.0)
+    sources = tuple(calculation.node_index.ground_station_indices())
+    return state.graph, sources
+
+
+def _assert_distances_identical(table, graph, sources):
+    """Distances and reachability must match a cold solve bit for bit."""
+    cold = ShortestPaths(graph, sources=list(sources))
+    incremental = table._distances
+    reference = cold._distances
+    finite = np.isfinite(reference)
+    assert np.array_equal(np.isfinite(incremental), finite)
+    assert np.array_equal(incremental[finite], reference[finite])
+
+
+def _churn_engine(sources, backend):
+    """An engine tuned so every affected row goes through the kernel."""
+    engine = PathEngine(sources=list(sources), kernel_backend=backend)
+    # Disable the adaptive cold-solve bypass and hand every violated row
+    # straight to the kernel: the property under test is the kernel's
+    # byte-identity contract, so it must stay under fire every epoch.
+    engine.churn_bypass_threshold = 2.0
+    engine.solver_handoff_gain_ms = 0.0
+    return engine
+
+
+def _run_flicker_chain(name, backend, seed, epochs):
+    """Randomized ISL flicker + uplink handover churn against cold solves."""
+    full, sources = _base_graph(name)
+    index = full.index
+    rng = np.random.default_rng(seed)
+    engine = _churn_engine(sources, backend)
+    graph = full
+    table = engine.solve(graph)
+    total = full.total_links()
+    isl_edges = np.flatnonzero(full.link_type_codes == _ISL_CODE)
+    uplink_edges = np.flatnonzero(full.link_type_codes == _UPLINK_CODE)
+    for _ in range(epochs):
+        # ISL flicker: a few inter-satellite links drop out this epoch and
+        # any previously failed ones return (each epoch cuts from `full`).
+        failed_isl = rng.choice(
+            isl_edges, size=int(rng.integers(0, 6)), replace=False
+        )
+        # Handover churn: ground stations abandon a few uplinks.
+        failed_uplink = rng.choice(
+            uplink_edges, size=int(rng.integers(0, 4)), replace=False
+        )
+        alive = np.setdiff1d(
+            np.arange(total), np.concatenate([failed_isl, failed_uplink])
+        )
+        delays = full.delays_ms.copy()
+        jitter = rng.choice(total, size=int(rng.integers(1, 20)), replace=False)
+        delays[jitter] = rng.uniform(0.5, 12.0, jitter.size)
+        new_graph = NetworkGraph.from_edge_arrays(
+            index,
+            full.node_a[alive], full.node_b[alive],
+            full.distances_km[alive], delays[alive],
+            full.bandwidths_kbps[alive], full.link_type_codes[alive],
+        )
+        table = engine.advance(table, new_graph, new_graph.diff_from(graph))
+        _assert_distances_identical(table, new_graph, sources)
+        graph = new_graph
+    # The chain must have genuinely exercised the kernel, not fallen back.
+    assert engine.stats.kernel_calls > 0
+    assert engine.stats.rows_kernel > 0
+    return engine
+
+
+class TestKernelChurnProperties:
+    """≥50-epoch randomized churn chains, byte-identical to cold solves."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_iridium_flicker_and_handover_churn(self, backend, seed):
+        _run_flicker_chain("iridium", backend, seed, epochs=50)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @settings(max_examples=2, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_starlink_flicker_and_handover_churn(self, backend, seed):
+        _run_flicker_chain("starlink", backend, seed, epochs=50)
+
+
+class TestKernelSeam:
+    """The backend seam itself: dispatch, validation, graceful absence."""
+
+    def test_backends_produce_identical_tables(self):
+        """All available backends agree bit for bit along one churn chain."""
+        full, sources = _base_graph("iridium")
+        tables = {}
+        for backend in _kernels.KERNEL_BACKENDS:
+            rng = np.random.default_rng(123)
+            engine = _churn_engine(sources, backend)
+            graph = full
+            table = engine.solve(graph)
+            total = full.total_links()
+            for _ in range(30):
+                failed = rng.choice(total, size=int(rng.integers(0, 8)), replace=False)
+                alive = np.setdiff1d(np.arange(total), failed)
+                delays = full.delays_ms.copy()
+                jitter = rng.choice(total, size=10, replace=False)
+                delays[jitter] = rng.uniform(0.5, 12.0, jitter.size)
+                new_graph = NetworkGraph.from_edge_arrays(
+                    full.index,
+                    full.node_a[alive], full.node_b[alive],
+                    full.distances_km[alive], delays[alive],
+                    full.bandwidths_kbps[alive], full.link_type_codes[alive],
+                )
+                table = engine.advance(table, new_graph, new_graph.diff_from(graph))
+                graph = new_graph
+            assert engine.stats.rows_kernel > 0
+            tables[backend] = table._distances
+        reference = tables.pop(_kernels.KERNEL_BACKENDS[0])
+        for backend, distances in tables.items():
+            assert np.array_equal(distances, reference, equal_nan=True), backend
+
+    def test_resolve_backend_validation(self):
+        assert _kernels.resolve_backend(None) is None
+        assert _kernels.resolve_backend("off") is None
+        assert _kernels.resolve_backend("auto") == _kernels.DEFAULT_BACKEND
+        assert _kernels.resolve_backend("numpy") == "numpy"
+        with pytest.raises(ValueError):
+            _kernels.resolve_backend("fortran")
+
+    def test_numba_leg_gated_cleanly(self):
+        """Without the [fast] extra the seam degrades, never breaks."""
+        if _kernels.HAVE_NUMBA:
+            assert _kernels.DEFAULT_BACKEND == "numba"
+            assert "numba" in _kernels.KERNEL_BACKENDS
+        else:
+            assert _kernels.DEFAULT_BACKEND == "numpy"
+            assert "numba" not in _kernels.KERNEL_BACKENDS
+            with pytest.raises(ValueError):
+                _kernels.resolve_backend("numba")
+        # "auto" always resolves to an importable backend.
+        engine = PathEngine(sources=[0], kernel_backend="auto")
+        assert engine.kernel_backend == _kernels.DEFAULT_BACKEND
+
+    def test_kernel_disabled_routes_to_solver(self):
+        """kernel_backend=None restores the pure csgraph fallback path."""
+        full, sources = _base_graph("iridium")
+        rng = np.random.default_rng(5)
+        engine = _churn_engine(sources, None)
+        graph = full
+        table = engine.solve(graph)
+        total = full.total_links()
+        for _ in range(10):
+            failed = rng.choice(total, size=4, replace=False)
+            alive = np.setdiff1d(np.arange(total), failed)
+            new_graph = NetworkGraph.from_edge_arrays(
+                full.index,
+                full.node_a[alive], full.node_b[alive],
+                full.distances_km[alive], full.delays_ms[alive],
+                full.bandwidths_kbps[alive], full.link_type_codes[alive],
+            )
+            table = engine.advance(table, new_graph, new_graph.diff_from(graph))
+            _assert_distances_identical(table, new_graph, sources)
+            graph = new_graph
+        assert engine.stats.kernel_calls == 0
+        assert engine.stats.rows_kernel == 0
+        assert engine.stats.rows_solved > 0
