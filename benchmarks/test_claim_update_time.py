@@ -34,6 +34,15 @@ the previous guarded path that degrades such epochs to cold solves.  The
 kernel leg must finish its median epoch at least twice as fast.  Its
 measurements merge into the same ``BENCH_paths.json`` under a
 ``churn_epochs`` key.
+
+The fifth benchmark scales the table count (PR 8): the same prebuilt
+ISL-flicker chain advanced with 64 carried single-source tables plus the
+ground-station table — once through one :meth:`PathEngine.advance_all`
+call per epoch (shared per-epoch work computed once, every violated row
+stacked into one kernel invocation) and once through the per-table
+``advance`` loop.  The batched leg must finish its median epoch at least
+twice as fast; measurements merge into ``BENCH_paths.json`` under an
+``all_pairs`` key.
 """
 
 import itertools
@@ -310,3 +319,98 @@ def test_churn_epoch_flicker_speedup():
     # The guard keeps the legacy leg at cold-solve-like cost, so the
     # kernel leg in turn beats a cold solve outright.
     assert kernel_epoch_ms < cold_solve_ms
+
+
+def test_all_pairs_epoch_speedup():
+    """PR 8 batching claim: 64-table epochs run ≥ 2× the per-table loop."""
+    drops_per_epoch = 2
+    epochs = 30
+    extra_tables = 64
+
+    config = west_africa_configuration(duration_s=600.0, shells="two-lowest")
+    calculation = ConstellationCalculation(config)
+    full = calculation.state_at(0.0).graph
+    sources = list(calculation.node_index.ground_station_indices())
+    index = full.index
+    total = full.total_links()
+    isl_edges = np.flatnonzero(full.link_type_codes == 0)
+
+    # The all-pairs working set: the multi-source ground-station table
+    # plus 64 single-source satellite tables, the shape the cost-aware
+    # cache carries across epochs at its default cap.
+    rng = np.random.default_rng(20220711)
+    satellites = np.setdiff1d(
+        np.arange(len(index)), np.asarray(sources, dtype=np.int64)
+    )
+    extras = rng.choice(satellites, size=extra_tables, replace=False)
+    table_sources = [sources] + [[int(node)] for node in extras]
+
+    # Prebuild the flicker chain (same idiom as the churn benchmark) so
+    # both legs advance through identical graphs and diffs.
+    graphs = [full]
+    for _ in range(epochs):
+        failed = rng.choice(isl_edges, size=drops_per_epoch, replace=False)
+        alive = np.setdiff1d(np.arange(total), failed)
+        graphs.append(NetworkGraph.from_edge_arrays(
+            index,
+            full.node_a[alive], full.node_b[alive],
+            full.distances_km[alive], full.delays_ms[alive],
+            full.bandwidths_kbps[alive], full.link_type_codes[alive],
+        ))
+    diffs = [graphs[i + 1].diff_from(graphs[i]) for i in range(epochs)]
+
+    def batched_leg():
+        engine = PathEngine(kernel_backend="auto")
+        tables = [engine.solve(graphs[0], sources=s) for s in table_sources]
+        seconds = []
+        for i, diff in enumerate(diffs):
+            started = wallclock.perf_counter()
+            tables = engine.advance_all(tables, graphs[i + 1], diff)
+            seconds.append(wallclock.perf_counter() - started)
+        return float(np.median(seconds)) * 1000.0, engine
+
+    def per_table_leg():
+        engine = PathEngine(kernel_backend="auto")
+        tables = [engine.solve(graphs[0], sources=s) for s in table_sources]
+        seconds = []
+        for i, diff in enumerate(diffs):
+            started = wallclock.perf_counter()
+            tables = [
+                engine.advance(table, graphs[i + 1], diff) for table in tables
+            ]
+            seconds.append(wallclock.perf_counter() - started)
+        return float(np.median(seconds)) * 1000.0, engine
+
+    # Warm-up pass per leg (lazy graph/diff caches, imports, JIT).
+    batched_leg()
+    per_table_leg()
+    batched_epoch_ms, batched_engine = batched_leg()
+    per_table_epoch_ms, per_table_engine = per_table_leg()
+
+    results = {
+        "scenario": "two-lowest Starlink shells, ISL flicker, 65 tables",
+        "nodes": len(full.index),
+        "epochs": epochs,
+        "tables": len(table_sources),
+        "isl_drops_per_epoch": drops_per_epoch,
+        "kernel_backend": batched_engine.kernel_backend,
+        "batched_epoch_ms": batched_epoch_ms,
+        "per_table_epoch_ms": per_table_epoch_ms,
+        "speedup_vs_per_table": per_table_epoch_ms / batched_epoch_ms,
+        "batched_stats": batched_engine.stats.snapshot(),
+        "per_table_stats": per_table_engine.stats.snapshot(),
+    }
+    print()
+    print(
+        f"all-pairs epoch ({len(table_sources)} tables) — per-table loop "
+        f"{per_table_epoch_ms:.2f} ms | batched {batched_epoch_ms:.2f} ms "
+        f"({results['speedup_vs_per_table']:.2f}x)"
+    )
+    _merge_artifact("all_pairs", results)
+
+    # The chain must genuinely take the stacked path, not the fallback.
+    assert batched_engine.stats.batched_calls > 0
+    assert batched_engine.stats.batched_rows > 0
+    # The tentpole claim: with 64+ carried tables, one batched advance
+    # per epoch is at least twice as fast as the per-table loop.
+    assert batched_epoch_ms * 2.0 <= per_table_epoch_ms

@@ -309,6 +309,63 @@ class _LazyUplinkTable(Mapping):
         return repr(self._materialize())
 
 
+class _ExtraTableScores:
+    """Cost-aware value bookkeeping behind the extra-table cache.
+
+    Each cached single-source table is scored by what it earns (recorded
+    query hits) against what it costs (measured advance work: ~1 per
+    kernel row, ~4 per solver/cold row, folded in from
+    ``PathEngine.last_advance_costs``).  The cache evicts the
+    lowest-value table first — ``value = (hits + 1) / (cost + 1)`` —
+    breaking ties by least-recent use, so a hot table survives a flood
+    of one-shot queries while a table that is expensive to drag across
+    churn epochs and never read is dropped early.  Hits and costs decay
+    geometrically once per epoch so stale popularity fades.  Entries of
+    evicted tables are dropped outright, keeping the bookkeeping bounded
+    by the cache cap.
+    """
+
+    __slots__ = ("hits", "costs", "last_used", "_clock")
+
+    def __init__(self):
+        self.hits: dict[int, float] = {}
+        self.costs: dict[int, float] = {}
+        self.last_used: dict[int, int] = {}
+        self._clock = 0
+
+    def _touch(self, node: int) -> None:
+        self._clock += 1
+        self.last_used[node] = self._clock
+
+    def record_hit(self, node: int) -> None:
+        self.hits[node] = self.hits.get(node, 0.0) + 1.0
+        self._touch(node)
+
+    def record_insert(self, node: int) -> None:
+        self.hits.setdefault(node, 0.0)
+        self.costs.setdefault(node, 0.0)
+        self._touch(node)
+
+    def record_cost(self, node: int, cost: float) -> None:
+        self.costs[node] = self.costs.get(node, 0.0) + cost
+
+    def decay(self) -> None:
+        """Halve hits and costs (called once per advanced epoch)."""
+        for table in (self.hits, self.costs):
+            for node in table:
+                table[node] *= 0.5
+
+    def drop(self, node: int) -> None:
+        self.hits.pop(node, None)
+        self.costs.pop(node, None)
+        self.last_used.pop(node, None)
+
+    def rank(self, node: int) -> tuple[float, int]:
+        """Sort key: ascending → first to evict (low value, then LRU)."""
+        value = (self.hits.get(node, 0.0) + 1.0) / (self.costs.get(node, 0.0) + 1.0)
+        return (value, self.last_used.get(node, 0))
+
+
 @dataclass
 class ConstellationState:
     """Snapshot of the constellation network at one instant."""
@@ -327,6 +384,14 @@ class ConstellationState:
     _extra_paths: dict[int, ShortestPaths] = field(default_factory=dict, repr=False)
     _update_hints: Optional[_UpdateHints] = field(default=None, repr=False, compare=False)
     _path_engine: Optional[PathEngine] = field(default=None, repr=False, compare=False)
+    #: Effective extra-table cap at this epoch (enforced on insert in
+    #: :meth:`_paths_from`; 0 disables caching, None leaves the cache
+    #: unbounded for directly constructed states).
+    _extra_table_limit: Optional[int] = field(default=None, repr=False, compare=False)
+    #: Shared cost-aware score book of the owning calculation.
+    _table_scores: Optional[_ExtraTableScores] = field(
+        default=None, repr=False, compare=False
+    )
 
     # -- machine-level queries -------------------------------------------
 
@@ -340,18 +405,54 @@ class ConstellationState:
         created through the constellation's :class:`PathEngine` (so solver
         work is counted) and carried to the next epoch by ``diff_since``,
         where they are repaired incrementally instead of re-solved.
+
+        The cache is bounded at *insert* time: when adding a table would
+        exceed the epoch's effective cap (:meth:`ConstellationCalculation.
+        _extra_table_cap`), the lowest-value cached table is evicted per
+        the cost-aware policy (:class:`_ExtraTableScores`) before the new
+        one is kept; a cap of 0 disables caching entirely.  Every lookup
+        records a hit or miss, both in the score book (so eviction ranks
+        on real usage, not insertion order) and in the engine's
+        ``cache_*`` counters (so the behaviour is observable through
+        ``path_statistics``).
         """
         if self.paths.has_source(node_a):
             return self.paths, node_a, node_b
         if self.paths.has_source(node_b):
             return self.paths, node_b, node_a
-        if node_a not in self._extra_paths:
-            if self._path_engine is not None:
-                table = self._path_engine.solve(self.graph, sources=[node_a])
-            else:
-                table = ShortestPaths(self.graph, sources=[node_a])
-            self._extra_paths[node_a] = table
-        return self._extra_paths[node_a], node_a, node_b
+        engine = self._path_engine
+        scores = self._table_scores
+        table = self._extra_paths.get(node_a)
+        if table is not None:
+            if engine is not None:
+                engine.stats.cache_hits += 1
+            if scores is not None:
+                scores.record_hit(node_a)
+            return table, node_a, node_b
+        if engine is not None:
+            engine.stats.cache_misses += 1
+            table = engine.solve(self.graph, sources=[node_a])
+        else:
+            table = ShortestPaths(self.graph, sources=[node_a])
+        limit = self._extra_table_limit
+        if limit == 0:
+            return table, node_a, node_b
+        self._extra_paths[node_a] = table
+        if scores is not None:
+            scores.record_insert(node_a)
+            scores.record_cost(node_a, 4.0)  # a cold solve ≈ one solver row
+        if limit is not None:
+            while len(self._extra_paths) > limit:
+                candidates = [k for k in self._extra_paths if k != node_a]
+                if scores is not None:
+                    victim = min(candidates, key=scores.rank)
+                    scores.drop(victim)
+                else:
+                    victim = candidates[0]
+                del self._extra_paths[victim]
+                if engine is not None:
+                    engine.stats.cache_evictions += 1
+        return table, node_a, node_b
 
     def node_for(self, machine: MachineId) -> int:
         """Flat node index of a machine."""
@@ -426,9 +527,22 @@ class ConstellationCalculation:
         cheap_geodetic_box: bool = True,
         eager_uplinks: bool = False,
         max_carried_extra_tables: Optional[int] = None,
+        all_pairs: bool = False,
     ):
         self.config = config
+        # ``all_pairs=True`` is the serving-tier shape: the main table's
+        # source set becomes every node (a superset of every active
+        # satellite), and each epoch the whole carried table set — main
+        # plus extras — advances through one epoch-batched
+        # ``PathEngine.advance_all`` call instead of a per-table loop.
+        self.all_pairs = all_pairs
+        if all_pairs:
+            path_sources = "all"
         self.path_sources = path_sources
+        # Cost-aware value book of the extra-table cache, shared with
+        # every state this calculation produces (eviction needs history
+        # that outlives a single epoch's state object).
+        self._extra_table_scores = _ExtraTableScores()
         # Cap on lazily created single-source tables carried between
         # epochs (None → the class default); always additionally bounded
         # by EXTRA_TABLE_MEMORY_BUDGET_MB, see :meth:`_extra_table_cap`.
@@ -796,6 +910,27 @@ class ConstellationCalculation:
         memory_cap = max(32, budget_bytes // max(per_table_bytes, 1))
         return int(min(self.max_carried_extra_tables, memory_cap))
 
+    def _select_carry(
+        self, tables: dict[int, ShortestPaths], cap: int
+    ) -> list[tuple[int, ShortestPaths]]:
+        """Pick which cached extra tables to carry into the next epoch.
+
+        Keeps the ``cap`` highest-value tables per the cost-aware policy
+        (:class:`_ExtraTableScores`), preserving their insertion order;
+        dropped tables count as evictions and lose their score entries.
+        With no recorded hits or costs the ranking degenerates to
+        least-recently-inserted-first — recency, not FIFO position.
+        """
+        scores = self._extra_table_scores
+        excess = len(tables) - cap
+        if excess <= 0:
+            return list(tables.items())
+        victims = set(sorted(tables, key=scores.rank)[:excess])
+        for node in victims:
+            scores.drop(node)
+        self.path_engine.stats.cache_evictions += len(victims)
+        return [(node, table) for node, table in tables.items() if node not in victims]
+
     def _state_from_epoch(
         self,
         time_s: float,
@@ -806,6 +941,7 @@ class ConstellationCalculation:
         topology: Optional[TopologyDiff] = None,
     ) -> ConstellationState:
         extra_paths: dict[int, ShortestPaths] = {}
+        cap: Optional[int] = None
         if path_method != "dijkstra":
             # The engine only advances Dijkstra tables; other methods stay
             # on the cold per-epoch solve.
@@ -813,19 +949,31 @@ class ConstellationCalculation:
             engine = None
         else:
             engine = self.path_engine
+            cap = self._extra_table_cap(graph)
             if (
                 self.incremental_paths
                 and previous is not None
                 and topology is not None
                 and previous.paths.method == "dijkstra"
             ):
-                paths = engine.advance(previous.paths, graph, topology)
                 # Satellite-to-satellite query tables ride the same repair
-                # pipeline instead of being re-solved from scratch.
-                cap = self._extra_table_cap(graph)
-                carried = list(previous._extra_paths.items())[-cap:] if cap else []
-                for node, table in carried:
-                    extra_paths[node] = engine.advance(table, graph, topology)
+                # pipeline instead of being re-solved from scratch: the
+                # main table and every carried extra advance through ONE
+                # epoch-batched call, so the per-epoch fixed costs and the
+                # kernel invocation are shared across the whole set.
+                scores = self._extra_table_scores
+                scores.decay()
+                carried = self._select_carry(previous._extra_paths, cap)
+                advanced = engine.advance_all(
+                    [previous.paths, *(table for _, table in carried)],
+                    graph,
+                    topology,
+                )
+                paths = advanced[0]
+                costs = engine.last_advance_costs
+                for (node, _), table, cost in zip(carried, advanced[1:], costs[1:]):
+                    extra_paths[node] = table
+                    scores.record_cost(node, cost)
             else:
                 paths = engine.solve(graph)
         points = _SubSatellitePoints(epoch.satellite_positions)
@@ -847,6 +995,8 @@ class ConstellationCalculation:
             _extra_paths=extra_paths,
             _update_hints=epoch.hints,
             _path_engine=engine,
+            _extra_table_limit=cap,
+            _table_scores=self._extra_table_scores if engine is not None else None,
         )
 
     def state_at(

@@ -107,7 +107,12 @@ class UpdateStats:
     #: only; empty under the thread backend, which has no transport).
     worker_ack_seconds: dict[int, list[float]] = field(default_factory=dict)
     #: Cumulative :class:`~repro.topology.paths.PathEngineStats` snapshot
-    #: of the calculation's path engine after the latest update.
+    #: of the calculation's path engine after the latest update.  Includes
+    #: the multi-table attribution counters (``tables_advanced``,
+    #: ``batched_calls``/``batched_rows`` of the epoch-batched
+    #: ``advance_all`` path) and the extra-table cache's
+    #: ``cache_hits``/``cache_misses``/``cache_evictions``, so all-pairs
+    #: runs are observable through ``ExperimentResult.path_statistics``.
     path_engine_totals: dict[str, int] = field(default_factory=dict)
     #: Per-update path-repair regime, derived from the engine's counter
     #: deltas: ``"bypass"`` (churn guard cold-solved), ``"structural"``
@@ -130,6 +135,16 @@ class UpdateStats:
                 self.path_regimes.append(regime)
                 return
         self.path_regimes.append("none")
+
+    @property
+    def path_cache_events(self) -> dict[str, int]:
+        """Extra-table cache totals (hits/misses/evictions) so far."""
+        totals = self.path_engine_totals
+        return {
+            "hits": totals.get("cache_hits", 0),
+            "misses": totals.get("cache_misses", 0),
+            "evictions": totals.get("cache_evictions", 0),
+        }
 
     @property
     def mean_wallclock_s(self) -> float:

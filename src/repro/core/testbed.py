@@ -204,9 +204,10 @@ class Celestial:
 
         ``totals`` is the cumulative
         :class:`~repro.topology.paths.PathEngineStats` snapshot (solver
-        calls, kernel calls, repaired rows, churn-guard bypasses, cache
-        hits); ``regimes`` counts which path-repair regime each
-        coordinator update took.
+        calls, kernel calls, repaired rows, churn-guard bypasses, the
+        epoch-batched ``advance_all`` attribution); ``regimes`` counts
+        which path-repair regime each coordinator update took; ``cache``
+        summarises the extra-table cache's hit/miss/eviction totals.
         """
         regimes: dict[str, int] = {}
         for regime in self.coordinator.stats.path_regimes:
@@ -214,6 +215,7 @@ class Celestial:
         return {
             "totals": dict(self.coordinator.stats.path_engine_totals),
             "regimes": regimes,
+            "cache": self.coordinator.stats.path_cache_events,
         }
 
     def booted_machines(self) -> int:

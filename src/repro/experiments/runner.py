@@ -286,8 +286,17 @@ def _run_handover(spec: ExperimentSpec, config: Configuration) -> ExperimentResu
         metrics=metrics,
         raw=analysis,
         path_statistics={
+            # Same shape as Celestial.path_engine_statistics(): the full
+            # counter snapshot (including the epoch-batched advance_all
+            # attribution) plus the extra-table cache summary; no
+            # coordinator runs here, so there are no per-update regimes.
             "totals": calculation.path_engine.stats.snapshot(),
             "regimes": {},
+            "cache": {
+                "hits": calculation.path_engine.stats.cache_hits,
+                "misses": calculation.path_engine.stats.cache_misses,
+                "evictions": calculation.path_engine.stats.cache_evictions,
+            },
         },
     )
 

@@ -83,6 +83,27 @@ offer bitwise-equal candidate distances (first writer wins, and the
 write order is implementation-defined); reconstructed paths always exist
 and re-sum exactly to the reported distance, which is the engine-wide
 predecessor contract.
+
+Stacked multi-table rows
+------------------------
+
+Nothing in the flat ``row * n + node`` indexing requires the rows to
+belong to one table: a seed's parent and child share a row by
+construction, every adjacency expansion stays inside ``row * n ..
+(row + 1) * n``, and no relaxation ever reads another row's state.  The
+engine's epoch-batched :meth:`~repro.topology.paths.PathEngine.
+advance_all` exploits exactly this — it stacks the violated rows of
+*every* carried table into one kernel invocation whose row axis spans
+tables.  The byte-identity argument survives stacking unchanged: each
+row relaxes to its own unique fixed point regardless of which other
+rows share the call, so a stacked invocation equals the per-table
+invocations bit for bit in distances (all three backends).  Within a
+row even the relaxation *order* is preserved — heap comparisons break
+distance ties on the flat index, whose per-row offsets are unaffected
+by the stacking base, and the frontier sweep's sorted commits keep
+per-row relative order — so predecessor bytes match the per-table call
+too; against a *cold* solve they may still differ at exact ties, as
+above.
 """
 
 from __future__ import annotations

@@ -758,6 +758,12 @@ class NetworkGraph:
         re-sorting the full endpoint arrays.  No-op when this graph
         already built its adjacency, the previous epoch never built one,
         or the diff does not belong to this graph pair.
+
+        Like the edge-id map and the cached adjacency weights, the
+        patched adjacency is a *per-epoch* structure, not a per-table
+        one: the engine's epoch-batched ``advance_all`` pays this call
+        once and every carried table's kernel rows traverse the same
+        arrays.
         """
         if self._adj_indptr is not None or diff.current is not self:
             return

@@ -99,6 +99,32 @@ order — so the kernel's heap-ordered (Numba) and frontier-ordered
 (NumPy) implementations produce identical distance bytes, both equal to
 the cold solve (see the :mod:`repro.topology._kernels` docstring for the
 seeding-sufficiency proof).
+
+Epoch-batched multi-table advance
+---------------------------------
+
+:meth:`PathEngine.advance_all` advances *many* tables across the same
+diff in one pass.  Semantically it is the per-table loop
+``[engine.advance(t, graph, diff) for t in tables]`` — distances and
+reachability of every published table are byte-identical — but the
+per-epoch fixed costs (CSR adjacency patch, raised/decreased edge
+classification, seed gathering, closure rounds) are paid once for the
+whole batch, and every violated row of every table is stacked into ONE
+flat kernel invocation whose row axis spans tables.  The identity holds
+because every step of :meth:`PathEngine.advance` is **row-local**:
+direct-hit detection tests each ``(row, edge)`` pair independently, the
+pointer-doubling closure gathers ancestors within a row's own
+``n``-slice of the flat index space, boundary and decreased-edge seeds
+are per-row violations, and the kernel's relaxations read and write
+only within ``row * n .. (row + 1) * n`` (extra global closure rounds
+demanded by a slow-converging row are idempotent no-ops for rows that
+already converged).  Stacking rows across tables therefore performs the
+identical per-row arithmetic in the identical per-row order, so the
+published bytes match the per-table loop's — which matches the cold
+solve by the argument above.  At 64+ carried tables this turns hundreds
+of small per-table kernel calls and seed scans per epoch into one large
+batched call, which is where the all-pairs serving shape
+(``ConstellationCalculation(all_pairs=True)``) gets its epoch speedup.
 """
 
 from __future__ import annotations
@@ -360,6 +386,16 @@ class PathEngineStats:
     re-solve, ``kernel_calls``/``kernel_settles`` size that work).  The
     ``membership_*`` pair proves the edge→tree membership index is
     carried across delay-only epochs instead of rebuilt per diff.
+
+    Multi-table attribution: ``tables_advanced`` counts every table
+    advanced through :meth:`PathEngine.advance` or
+    :meth:`PathEngine.advance_all`; ``batched_calls``/``batched_rows``
+    size the epoch-batched path (one batch per :meth:`advance_all`
+    invocation that formed a batch, rows summed across all its tables).
+    The ``cache_*`` trio is incremented by the extra-table cache in
+    :mod:`repro.core.constellation` — lookup hits and misses in
+    ``_paths_from`` and insert-time evictions — so all-pairs runs are
+    observable end to end through ``path_statistics``.
     """
 
     cold_solves: int = 0
@@ -377,6 +413,12 @@ class PathEngineStats:
     kernel_settles: int = 0
     membership_rebuilds: int = 0
     membership_reuses: int = 0
+    tables_advanced: int = 0
+    batched_calls: int = 0
+    batched_rows: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
 
     def snapshot(self) -> dict[str, int]:
         """Plain-dict copy (JSON-serialisable, used by the benchmarks)."""
@@ -439,6 +481,11 @@ class PathEngine:
         # bounded repair.
         self.churn_settle_fraction = 0.85
         self._bypass_remaining: dict[tuple, int] = {}
+        # Per-table work scores of the most recent ``advance_all`` call
+        # (parallel to its ``tables`` argument): 0 for pure reuse, ~1 per
+        # kernel row, ~4 per solver/cold row.  The constellation's
+        # cost-aware extra-table cache folds these into eviction scores.
+        self.last_advance_costs: list[float] = []
         self.stats = PathEngineStats()
 
     def reset_stats(self) -> None:
@@ -474,6 +521,7 @@ class PathEngine:
         inputs (non-Dijkstra table, foreign graph) degrade to a cold
         solve with the table's own sources.
         """
+        self.stats.tables_advanced += 1
         if (
             previous.method != "dijkstra"
             or previous.graph is not diff.previous
@@ -491,7 +539,7 @@ class PathEngine:
             self.stats.rows_reused += source_count
             return previous._rebind(graph)
 
-        guard_key = (source_count, previous.sources[0], previous.sources[-1])
+        guard_key = self._guard_key(previous)
         remaining = self._bypass_remaining.get(guard_key, 0)
         if remaining > 0:
             self._bypass_remaining[guard_key] = remaining - 1
@@ -507,25 +555,7 @@ class PathEngine:
         previous_predecessors = previous._predecessors
         node_a, node_b = graph.node_a, graph.node_b
 
-        # Classify the surviving changed-delay edges against the previous
-        # epoch's weights.  Steady chains share the sorted-key array
-        # object between epochs, making current ids valid previous ids;
-        # otherwise one pair lookup resolves them.
-        changed = diff.delay_changed
-        if changed.size:
-            if graph.structure_token is diff.previous.structure_token:
-                previous_ids = changed
-            else:
-                previous_ids = diff.previous.edge_ids_between(
-                    node_a[changed], node_b[changed]
-                )
-            previous_weights = np.maximum(
-                diff.previous.delays_ms[previous_ids], DELAY_EPSILON_MS
-            )
-            raised = changed[weights[changed] > previous_weights]
-            decreased = changed[weights[changed] < previous_weights]
-        else:
-            raised = decreased = changed
+        raised, decreased = self._classify_changed(graph, diff, weights)
 
         # Directly hit nodes: the tree edge above them disappeared or was
         # delay-raised.  Every other node keeps its carried value (see the
@@ -552,44 +582,11 @@ class PathEngine:
             self.stats.structural_epochs += 1
 
         # Invalidate the severed subtrees: close the directly hit set over
-        # descendants by pointer-doubling the predecessor chains (a
-        # no-change round means every hit ancestor has been seen).
-        hit = None
-        full = affected_rows.size == source_count
-        if affected_rows.size:
-            sub_matrix = tree_matrix if full else tree_matrix[affected_rows]
-            sub_pred = (
-                previous_predecessors
-                if full
-                else previous_predecessors[affected_rows]
-            )
-            raised_mask = np.zeros(weights.size, dtype=bool)
-            raised_mask[raised] = True
-            direct = (sub_matrix >= 0) & raised_mask[np.maximum(sub_matrix, 0)]
-            if not diff.is_structural_noop:
-                direct |= (sub_matrix < 0) & (sub_pred >= 0)
-            # Narrow to the rows that actually lost something before the
-            # closure: on a localized flicker most trees never touch the
-            # failed links, and the pointer-doubling gathers below cost
-            # O(rows × n) per round.
-            row_hit = direct.any(axis=1)
-            if row_hit.any():
-                if not row_hit.all():
-                    affected_rows = affected_rows[row_hit]
-                    direct = direct[row_hit]
-                    sub_pred = sub_pred[row_hit]
-                    full = affected_rows.size == source_count
-                k = affected_rows.size
-                hit = direct.reshape(-1)
-                flat_pred = sub_pred.reshape(-1).astype(np.int64)
-                index = np.arange(k * n, dtype=np.int64)
-                row_base = np.repeat(np.arange(k, dtype=np.int64) * n, n)
-                ancestor = np.where(flat_pred >= 0, row_base + flat_pred, index)
-                count, previous_count = int(np.count_nonzero(hit)), -1
-                while count != previous_count:
-                    np.logical_or(hit, hit[ancestor], out=hit)
-                    ancestor = ancestor[ancestor]
-                    previous_count, count = count, int(np.count_nonzero(hit))
+        # descendants by pointer-doubling the predecessor chains.
+        hit, affected_rows, full = self._severed_closure(
+            tree_matrix, previous_predecessors, raised, affected_rows,
+            source_count, n, weights.size, not diff.is_structural_noop,
+        )
 
         # Carry the previous distances, with the hit region pushed to
         # ``inf``; the published array is only copied when something
@@ -608,71 +605,14 @@ class PathEngine:
 
         collected: list[tuple[np.ndarray, ...]] = []
 
-        def _collect(rows: np.ndarray, edge_ids: Optional[np.ndarray]) -> None:
-            if rows.size == 0 or (edge_ids is not None and edge_ids.size == 0):
-                return
-            ea = node_a if edge_ids is None else node_a[edge_ids]
-            eb = node_b if edge_ids is None else node_b[edge_ids]
-            ew = weights if edge_ids is None else weights[edge_ids]
-            sub = distances if rows.size == distances.shape[0] else distances[rows]
-            da = sub[:, ea]
-            db = sub[:, eb]
-            forward_candidate = da + ew
-            reverse_candidate = db + ew
-            forward = forward_candidate < db
-            reverse = reverse_candidate < da
-            # Fast exit for the common steady epoch: a pair of boolean
-            # reductions is much cheaper than materialising index arrays.
-            if not (forward.any() or reverse.any()):
-                return
-            f_rows, f_edges = np.nonzero(forward)
-            r_rows, r_edges = np.nonzero(reverse)
-            global_ids = (
-                np.concatenate([f_edges, r_edges])
-                if edge_ids is None
-                else np.concatenate([edge_ids[f_edges], edge_ids[r_edges]])
-            )
-            collected.append((
-                np.concatenate([rows[f_rows], rows[r_rows]]),
-                np.concatenate([ea[f_edges], eb[r_edges]]),
-                np.concatenate([eb[f_edges], ea[r_edges]]),
-                global_ids,
-                # How much the candidate undercuts the current value —
-                # ``inf`` when it reconnects an unreachable node.  Used
-                # only to route the row to heap repair vs the solver.
-                np.concatenate([
-                    db[f_rows, f_edges] - forward_candidate[f_rows, f_edges],
-                    da[r_rows, r_edges] - reverse_candidate[r_rows, r_edges],
-                ]),
-            ))
-
         # Seeds, part 1 — the finite→inf boundary of the invalidated
         # region: every edge from a still-finite node into a hit node is a
         # violation by construction (finite + w < inf), so it goes in
         # unchecked with gain ``inf``.
         if hit is not None:
-            indptr, adj_nodes, adj_edges = graph.adjacency_arrays()
-            local_rows, hit_nodes = np.nonzero(hit2d)
-            hit_rows = local_rows if full else affected_rows[local_rows]
-            starts = indptr[hit_nodes]
-            counts = indptr[hit_nodes + 1] - starts
-            total = int(counts.sum())
-            if total:
-                positions = (
-                    np.repeat(starts - (np.cumsum(counts) - counts), counts)
-                    + np.arange(total)
-                )
-                boundary_rows = np.repeat(hit_rows, counts)
-                boundary_parents = adj_nodes[positions]
-                finite = np.isfinite(distances[boundary_rows, boundary_parents])
-                if finite.any():
-                    collected.append((
-                        boundary_rows[finite],
-                        boundary_parents[finite],
-                        np.repeat(hit_nodes, counts)[finite],
-                        adj_edges[positions][finite],
-                        np.full(int(np.count_nonzero(finite)), np.inf),
-                    ))
+            self._boundary_seeds(
+                graph, distances, hit2d, affected_rows, full, collected
+            )
 
         # Seeds, part 2 — every added or delay-decreased edge, checked
         # against all rows.  No other edge can violate Bellman optimality
@@ -680,7 +620,10 @@ class PathEngine:
         improving = decreased
         if not diff.is_structural_noop and diff.links_added.size:
             improving = np.concatenate([diff.links_added, decreased])
-        _collect(np.arange(source_count), improving)
+        self._collect_seeds(
+            collected, distances, weights, node_a, node_b,
+            np.arange(source_count), improving,
+        )
 
         if not collected:
             # No violated edge anywhere: predecessors are untouched, so
@@ -816,6 +759,441 @@ class PathEngine:
             graph, previous.sources, "dijkstra", distances, predecessors,
             caches=caches,
         )
+
+    # -- epoch-batched multi-table path ---------------------------------
+
+    def advance_all(
+        self,
+        tables: Sequence[ShortestPaths],
+        graph: NetworkGraph,
+        diff: TopologyDiff,
+    ) -> list[ShortestPaths]:
+        """Advance many tables across one epoch, sharing the fixed costs.
+
+        Semantically ``[self.advance(t, graph, diff) for t in tables]``
+        — distances and reachability of every published table are
+        byte-identical to the per-table loop, hence to a cold solve —
+        but the per-epoch work (adjacency patch, edge classification,
+        seed gathering, closure rounds) runs once for the batch, and
+        every violated row across every table joins ONE stacked kernel
+        invocation whose row axis spans tables (see the module
+        docstring's row-locality argument).  Tables that cannot join
+        the batch — incompatible with the diff, or under an active
+        churn bypass — fall back to :meth:`advance` individually, as
+        does the whole call when the kernel is disabled or the diff is
+        trivially reusable.
+
+        Side channel: ``self.last_advance_costs`` is rewritten with a
+        list parallel to ``tables`` scoring each table's work this
+        epoch (0 for pure reuse, ~1 per kernel row, ~4 per solver/cold
+        row); the constellation's cost-aware table cache feeds eviction
+        from it.
+        """
+        tables = list(tables)
+        costs = [0.0] * len(tables)
+        self.last_advance_costs = costs
+        if not tables:
+            return []
+
+        def _fallback(index: int, table: ShortestPaths) -> ShortestPaths:
+            stats = self.stats
+            before = (stats.rows_solved, stats.rows_kernel, stats.rows_repaired)
+            advanced = self.advance(table, graph, diff)
+            costs[index] = (
+                4.0 * (stats.rows_solved - before[0])
+                + (stats.rows_kernel - before[1])
+                + (stats.rows_repaired - before[2])
+            )
+            return advanced
+
+        trivial = diff.is_empty or (
+            diff.is_structural_noop and diff.delay_changed.size == 0
+        )
+        if self.kernel_backend is None or trivial:
+            return [_fallback(i, t) for i, t in enumerate(tables)]
+        results: list[Optional[ShortestPaths]] = [None] * len(tables)
+        batch: list[int] = []
+        for i, table in enumerate(tables):
+            if (
+                table.method != "dijkstra"
+                or table.graph is not diff.previous
+                or graph is not diff.current
+                or len(graph.index) != table._distances.shape[1]
+                or self._bypass_remaining.get(self._guard_key(table), 0) > 0
+            ):
+                results[i] = _fallback(i, table)
+            else:
+                batch.append(i)
+        if batch:
+            advanced, batch_costs = self._advance_batch(
+                [tables[i] for i in batch], graph, diff
+            )
+            for j, i in enumerate(batch):
+                results[i] = advanced[j]
+                costs[i] = batch_costs[j]
+        return results
+
+    def _advance_batch(
+        self, tables: list[ShortestPaths], graph: NetworkGraph, diff: TopologyDiff
+    ) -> tuple[list[ShortestPaths], list[float]]:
+        """Stacked-row transcription of :meth:`advance` over many tables.
+
+        Runs the identical per-row arithmetic on the vertically stacked
+        ``(total_rows, n)`` arrays (every step of :meth:`advance` is
+        row-local; see the module docstring), so the published bytes
+        match the per-table loop's.  Only called with the kernel
+        enabled, so the routing is the budget-0 one: every violated row
+        joins the stacked kernel call except wholesale-rewired rows
+        (violated-edge count ≥ ``n``), which go to one batched
+        ``csgraph`` call covering all tables.
+
+        Published tables hold row-slice views of the stacked arrays —
+        tables are immutable once published, so sharing is safe; note a
+        slice keeps its whole stacked epoch alive, which is the
+        all-pairs serving shape where every table is carried anyway.
+
+        Stats nuance: ``repaired_epochs``/``structural_epochs`` count
+        once per *batch* (the epoch classification is shared) and a
+        batch contributes at most one ``kernel_calls``/``solver_calls``
+        each — that is the point — while the ``rows_*`` counters
+        attribute per row exactly as the per-table loop does.  The
+        churn guard's settle-fraction test is evaluated batch-wide (a
+        dial, never a correctness lever).
+        """
+        stats = self.stats
+        stats.tables_advanced += len(tables)
+        stats.batched_calls += 1
+        row_counts = np.array([len(t.sources) for t in tables], dtype=np.int64)
+        row_starts = np.concatenate(([0], np.cumsum(row_counts)))
+        total_rows = int(row_starts[-1])
+        stats.batched_rows += total_rows
+        n = len(graph.index)
+        weights = graph.clamped_delays_ms()
+        graph.carry_adjacency_from(diff)
+        tree_matrix = np.vstack([t._tree_matrix_for(graph, diff) for t in tables])
+        previous_predecessors = np.vstack([t._predecessors for t in tables])
+        node_a, node_b = graph.node_a, graph.node_b
+        raised, decreased = self._classify_changed(graph, diff, weights)
+
+        if diff.is_structural_noop:
+            memberships = []
+            for table in tables:
+                if table._caches.membership is None:
+                    stats.membership_rebuilds += 1
+                else:
+                    stats.membership_reuses += 1
+                memberships.append(table._membership_for(graph, diff))
+            membership = np.vstack(memberships)
+            affected_rows = (
+                np.flatnonzero(membership[:, raised].any(axis=1))
+                if raised.size
+                else np.empty(0, dtype=np.int64)
+            )
+            stats.repaired_epochs += 1
+        else:
+            affected_rows = np.arange(total_rows)
+            stats.structural_epochs += 1
+
+        hit, affected_rows, full = self._severed_closure(
+            tree_matrix, previous_predecessors, raised, affected_rows,
+            total_rows, n, weights.size, not diff.is_structural_noop,
+        )
+
+        # ``vstack`` copied, so invalidation can write in place; the
+        # values match :meth:`advance`'s copy-on-invalidate exactly.
+        distances = np.vstack([t._distances for t in tables])
+        collected: list[tuple[np.ndarray, ...]] = []
+        if hit is not None:
+            hit2d = hit.reshape(affected_rows.size, n)
+            if full:
+                distances[hit2d] = np.inf
+            else:
+                invalid = np.zeros((total_rows, n), dtype=bool)
+                invalid[affected_rows] = hit2d
+                distances[invalid] = np.inf
+            self._boundary_seeds(
+                graph, distances, hit2d, affected_rows, full, collected
+            )
+        improving = decreased
+        if not diff.is_structural_noop and diff.links_added.size:
+            improving = np.concatenate([diff.links_added, decreased])
+        self._collect_seeds(
+            collected, distances, weights, node_a, node_b,
+            np.arange(total_rows), improving,
+        )
+
+        if not collected:
+            stats.rows_reused += total_rows
+            out = []
+            for k, table in enumerate(tables):
+                if hit is None:
+                    out.append(table._rebind(graph))
+                else:
+                    out.append(ShortestPaths._from_arrays(
+                        graph, table.sources, "dijkstra",
+                        distances[row_starts[k]:row_starts[k + 1]],
+                        table._predecessors, caches=table._caches,
+                    ))
+            return out, [0.0] * len(tables)
+
+        seed_rows = np.concatenate([c[0] for c in collected])
+        seed_parents = np.concatenate([c[1] for c in collected])
+        seed_children = np.concatenate([c[2] for c in collected])
+        seed_edges = np.concatenate([c[3] for c in collected])
+        violated_rows = np.unique(seed_rows)
+        seed_counts = np.bincount(seed_rows, minlength=total_rows)
+        predecessors = previous_predecessors.copy()
+        solver_mask = seed_counts[violated_rows] >= n
+        kernel_rows = violated_rows[~solver_mask]
+        solver_rows = violated_rows[solver_mask]
+        kernel_settles = 0
+        if kernel_rows.size:
+            kernel_settles = self._kernel_resolve(
+                graph, weights, distances, predecessors, kernel_rows.tolist(),
+                seed_rows, seed_parents, seed_children, seed_edges,
+            )
+            stats.kernel_calls += 1
+            stats.rows_kernel += int(kernel_rows.size)
+            stats.kernel_settles += kernel_settles
+        if solver_rows.size:
+            table_of_solver = (
+                np.searchsorted(row_starts, solver_rows, side="right") - 1
+            )
+            indices = [
+                tables[int(t_index)].sources[int(row - row_starts[t_index])]
+                for t_index, row in zip(table_of_solver, solver_rows)
+            ]
+            solved_distances, solved_predecessors = csgraph.dijkstra(
+                graph.delay_matrix(), directed=False, indices=indices,
+                return_predecessors=True,
+            )
+            distances[solver_rows] = np.atleast_2d(solved_distances)
+            predecessors[solver_rows] = np.atleast_2d(solved_predecessors)
+            stats.solver_calls += 1
+            stats.rows_solved += int(solver_rows.size)
+        stats.rows_reused += total_rows - int(violated_rows.size)
+
+        # Per-table churn guard and work costs, from the per-table share
+        # of kernel/solver rows.
+        kernel_counts = np.bincount(
+            np.searchsorted(row_starts, kernel_rows, side="right") - 1,
+            minlength=len(tables),
+        )
+        solver_counts = np.bincount(
+            np.searchsorted(row_starts, solver_rows, side="right") - 1,
+            minlength=len(tables),
+        )
+        settles_dense = bool(
+            kernel_rows.size
+            and kernel_settles
+            >= self.churn_settle_fraction * kernel_rows.size * n
+        )
+        costs = [0.0] * len(tables)
+        for k, table in enumerate(tables):
+            rows_k = int(row_counts[k])
+            solver_k = int(solver_counts[k])
+            kernel_k = int(kernel_counts[k])
+            costs[k] = 4.0 * solver_k + float(kernel_k)
+            if (
+                solver_k >= 3
+                and solver_k >= self.churn_bypass_threshold * rows_k
+            ) or (
+                kernel_k >= 3
+                and kernel_k >= self.churn_bypass_threshold * rows_k
+                and settles_dense
+            ):
+                self._bypass_remaining[self._guard_key(table)] = (
+                    self.churn_bypass_epochs
+                )
+
+        out = []
+        for k, table in enumerate(tables):
+            start, stop = int(row_starts[k]), int(row_starts[k + 1])
+            caches = self._patched_caches(
+                graph, tree_matrix[start:stop], table._caches,
+                table._predecessors, predecessors[start:stop],
+            )
+            out.append(ShortestPaths._from_arrays(
+                graph, table.sources, "dijkstra", distances[start:stop],
+                predecessors[start:stop], caches=caches,
+            ))
+        return out, costs
+
+    # -- shared per-epoch building blocks -------------------------------
+
+    @staticmethod
+    def _guard_key(table: ShortestPaths) -> tuple:
+        """Churn-guard key: tables of the same shape adapt together."""
+        sources = table.sources
+        return (len(sources), sources[0], sources[-1])
+
+    @staticmethod
+    def _classify_changed(
+        graph: NetworkGraph, diff: TopologyDiff, weights: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Split surviving changed-delay edges into (raised, decreased).
+
+        Classified against the previous epoch's weights.  Steady chains
+        share the sorted-key array object between epochs, making
+        current ids valid previous ids; otherwise one pair lookup
+        resolves them.  Shared verbatim by :meth:`PathEngine.advance`
+        and the batched multi-table path.
+        """
+        changed = diff.delay_changed
+        if not changed.size:
+            return changed, changed
+        if graph.structure_token is diff.previous.structure_token:
+            previous_ids = changed
+        else:
+            previous_ids = diff.previous.edge_ids_between(
+                graph.node_a[changed], graph.node_b[changed]
+            )
+        previous_weights = np.maximum(
+            diff.previous.delays_ms[previous_ids], DELAY_EPSILON_MS
+        )
+        raised = changed[weights[changed] > previous_weights]
+        decreased = changed[weights[changed] < previous_weights]
+        return raised, decreased
+
+    @staticmethod
+    def _severed_closure(
+        tree_matrix: np.ndarray,
+        predecessors: np.ndarray,
+        raised: np.ndarray,
+        affected_rows: np.ndarray,
+        row_total: int,
+        n: int,
+        edge_count: int,
+        structural: bool,
+    ) -> tuple[Optional[np.ndarray], np.ndarray, bool]:
+        """Close the directly hit node set over descendants.
+
+        Directly hit nodes are those whose tree edge disappeared or was
+        delay-raised; the set is closed over descendants by
+        pointer-doubling the predecessor chains (a no-change round
+        means every hit ancestor has been seen).  Returns ``(hit,
+        affected_rows, full)``: the flat ``(len(affected_rows) * n,)``
+        invalidation mask (None when no row lost anything), the rows
+        narrowed to those that did, and whether that is every row.
+        Row-local — each row's ancestor chains stay inside its own
+        ``n``-slice of the flat index space — so stacked multi-table
+        calls close every table's rows in the same gathers (extra
+        rounds demanded by a slow row are no-ops for converged rows).
+        """
+        hit = None
+        full = affected_rows.size == row_total
+        if affected_rows.size:
+            sub_matrix = tree_matrix if full else tree_matrix[affected_rows]
+            sub_pred = predecessors if full else predecessors[affected_rows]
+            raised_mask = np.zeros(edge_count, dtype=bool)
+            raised_mask[raised] = True
+            direct = (sub_matrix >= 0) & raised_mask[np.maximum(sub_matrix, 0)]
+            if structural:
+                direct |= (sub_matrix < 0) & (sub_pred >= 0)
+            # Narrow to the rows that actually lost something before the
+            # closure: on a localized flicker most trees never touch the
+            # failed links, and the pointer-doubling gathers below cost
+            # O(rows × n) per round.
+            row_hit = direct.any(axis=1)
+            if row_hit.any():
+                if not row_hit.all():
+                    affected_rows = affected_rows[row_hit]
+                    direct = direct[row_hit]
+                    sub_pred = sub_pred[row_hit]
+                    full = affected_rows.size == row_total
+                k = affected_rows.size
+                hit = direct.reshape(-1)
+                flat_pred = sub_pred.reshape(-1).astype(np.int64)
+                index = np.arange(k * n, dtype=np.int64)
+                row_base = np.repeat(np.arange(k, dtype=np.int64) * n, n)
+                ancestor = np.where(flat_pred >= 0, row_base + flat_pred, index)
+                count, previous_count = int(np.count_nonzero(hit)), -1
+                while count != previous_count:
+                    np.logical_or(hit, hit[ancestor], out=hit)
+                    ancestor = ancestor[ancestor]
+                    previous_count, count = count, int(np.count_nonzero(hit))
+        return hit, affected_rows, full
+
+    @staticmethod
+    def _collect_seeds(
+        collected: list,
+        distances: np.ndarray,
+        weights: np.ndarray,
+        node_a: np.ndarray,
+        node_b: np.ndarray,
+        rows: np.ndarray,
+        edge_ids: Optional[np.ndarray],
+    ) -> None:
+        """Append the violated directed edges among ``edge_ids`` × ``rows``."""
+        if rows.size == 0 or (edge_ids is not None and edge_ids.size == 0):
+            return
+        ea = node_a if edge_ids is None else node_a[edge_ids]
+        eb = node_b if edge_ids is None else node_b[edge_ids]
+        ew = weights if edge_ids is None else weights[edge_ids]
+        sub = distances if rows.size == distances.shape[0] else distances[rows]
+        da = sub[:, ea]
+        db = sub[:, eb]
+        forward_candidate = da + ew
+        reverse_candidate = db + ew
+        forward = forward_candidate < db
+        reverse = reverse_candidate < da
+        # Fast exit for the common steady epoch: a pair of boolean
+        # reductions is much cheaper than materialising index arrays.
+        if not (forward.any() or reverse.any()):
+            return
+        f_rows, f_edges = np.nonzero(forward)
+        r_rows, r_edges = np.nonzero(reverse)
+        global_ids = (
+            np.concatenate([f_edges, r_edges])
+            if edge_ids is None
+            else np.concatenate([edge_ids[f_edges], edge_ids[r_edges]])
+        )
+        collected.append((
+            np.concatenate([rows[f_rows], rows[r_rows]]),
+            np.concatenate([ea[f_edges], eb[r_edges]]),
+            np.concatenate([eb[f_edges], ea[r_edges]]),
+            global_ids,
+            # How much the candidate undercuts the current value —
+            # ``inf`` when it reconnects an unreachable node.  Used
+            # only to route the row to heap repair vs the solver.
+            np.concatenate([
+                db[f_rows, f_edges] - forward_candidate[f_rows, f_edges],
+                da[r_rows, r_edges] - reverse_candidate[r_rows, r_edges],
+            ]),
+        ))
+
+    @staticmethod
+    def _boundary_seeds(
+        graph: NetworkGraph,
+        distances: np.ndarray,
+        hit2d: np.ndarray,
+        affected_rows: np.ndarray,
+        full: bool,
+        collected: list,
+    ) -> None:
+        """Seed the finite→``inf`` boundary of the invalidated region."""
+        indptr, adj_nodes, adj_edges = graph.adjacency_arrays()
+        local_rows, hit_nodes = np.nonzero(hit2d)
+        hit_rows = local_rows if full else affected_rows[local_rows]
+        starts = indptr[hit_nodes]
+        counts = indptr[hit_nodes + 1] - starts
+        total = int(counts.sum())
+        if total:
+            positions = (
+                np.repeat(starts - (np.cumsum(counts) - counts), counts)
+                + np.arange(total)
+            )
+            boundary_rows = np.repeat(hit_rows, counts)
+            boundary_parents = adj_nodes[positions]
+            finite = np.isfinite(distances[boundary_rows, boundary_parents])
+            if finite.any():
+                collected.append((
+                    boundary_rows[finite],
+                    boundary_parents[finite],
+                    np.repeat(hit_nodes, counts)[finite],
+                    adj_edges[positions][finite],
+                    np.full(int(np.count_nonzero(finite)), np.inf),
+                ))
 
     def _kernel_resolve(
         self,

@@ -1,0 +1,218 @@
+"""Property suite for the epoch-batched multi-table advance path.
+
+``PathEngine.advance_all`` advances the whole carried table set across
+one diff by stacking every table's violated rows into one flat kernel
+invocation.  Its contract is byte-identity with the per-table loop:
+randomized ISL flicker plus uplink handover churn drives ≥50-epoch
+chains on the Iridium and Starlink constellations, and after every epoch
+every table's distances must match (a) a second engine advancing the
+same tables one at a time through ``advance`` and (b) a cold
+``csgraph.dijkstra`` solve — across all three kernel backends (the Numba
+leg skips cleanly when the ``[fast]`` extra is absent).  The suite also
+pins the batching itself (one kernel call per epoch instead of one per
+table) and the fallback legs (kernel disabled, churn bypass, trivial
+diffs).
+"""
+
+import functools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConstellationCalculation
+from repro.scenarios import dart_configuration, west_africa_configuration
+from repro.topology import NetworkGraph, PathEngine, ShortestPaths
+from repro.topology import _kernels
+
+#: Every backend the kernel seam offers; the Numba leg skips when the
+#: ``[fast]`` extra is not installed instead of failing collection.
+BACKENDS = [
+    "numpy",
+    "python",
+    pytest.param(
+        "numba",
+        marks=pytest.mark.skipif(
+            not _kernels.HAVE_NUMBA,
+            reason="numba not installed (the optional [fast] extra)",
+        ),
+    ),
+]
+
+_ISL_CODE = 0
+_UPLINK_CODE = 1
+
+
+@functools.lru_cache(maxsize=None)
+def _base_graph(name):
+    """The epoch-0 constellation graph and its ground-station sources."""
+    if name == "iridium":
+        config = dart_configuration(buoy_count=5, sink_count=8, duration_s=600.0)
+    else:
+        config = west_africa_configuration(duration_s=600.0, shells="two-lowest")
+    calculation = ConstellationCalculation(config)
+    state = calculation.state_at(0.0)
+    sources = tuple(calculation.node_index.ground_station_indices())
+    return state.graph, sources
+
+
+def _assert_distances_identical(table, graph, sources):
+    """Distances and reachability must match a cold solve bit for bit."""
+    cold = ShortestPaths(graph, sources=list(sources))
+    incremental = table._distances
+    reference = cold._distances
+    finite = np.isfinite(reference)
+    assert np.array_equal(np.isfinite(incremental), finite)
+    assert np.array_equal(incremental[finite], reference[finite])
+
+
+def _churn_engine(backend):
+    """An engine tuned so every affected row goes through the kernel."""
+    engine = PathEngine(kernel_backend=backend)
+    engine.churn_bypass_threshold = 2.0
+    engine.solver_handoff_gain_ms = 0.0
+    return engine
+
+
+def _table_sources(name, rng, extra_tables=6):
+    """The main ground-station source set plus satellite single-sources."""
+    full, sources = _base_graph(name)
+    satellites = np.setdiff1d(
+        np.arange(len(full.index)), np.asarray(sources, dtype=np.int64)
+    )
+    extras = rng.choice(satellites, size=extra_tables, replace=False)
+    return [list(sources)] + [[int(node)] for node in extras]
+
+
+def _flicker_graph(full, rng):
+    """One churn epoch: ISL flicker, uplink handovers, delay jitter."""
+    total = full.total_links()
+    isl_edges = np.flatnonzero(full.link_type_codes == _ISL_CODE)
+    uplink_edges = np.flatnonzero(full.link_type_codes == _UPLINK_CODE)
+    failed_isl = rng.choice(isl_edges, size=int(rng.integers(0, 6)), replace=False)
+    failed_uplink = rng.choice(
+        uplink_edges, size=int(rng.integers(0, 4)), replace=False
+    )
+    alive = np.setdiff1d(
+        np.arange(total), np.concatenate([failed_isl, failed_uplink])
+    )
+    delays = full.delays_ms.copy()
+    jitter = rng.choice(total, size=int(rng.integers(1, 20)), replace=False)
+    delays[jitter] = rng.uniform(0.5, 12.0, jitter.size)
+    return NetworkGraph.from_edge_arrays(
+        full.index,
+        full.node_a[alive], full.node_b[alive],
+        full.distances_km[alive], delays[alive],
+        full.bandwidths_kbps[alive], full.link_type_codes[alive],
+    )
+
+
+def _run_batched_chain(name, backend, seed, epochs, make_engine=_churn_engine):
+    """Advance a multi-table set batched and per-table over one chain."""
+    full, _ = _base_graph(name)
+    rng = np.random.default_rng(seed)
+    batched_engine = make_engine(backend)
+    reference_engine = make_engine(backend)
+    table_sources = _table_sources(name, rng)
+    graph = full
+    batched = [batched_engine.solve(graph, sources=s) for s in table_sources]
+    reference = [reference_engine.solve(graph, sources=s) for s in table_sources]
+    for _ in range(epochs):
+        new_graph = _flicker_graph(full, rng)
+        diff = new_graph.diff_from(graph)
+        batched = batched_engine.advance_all(batched, new_graph, diff)
+        reference = [
+            reference_engine.advance(table, new_graph, diff)
+            for table in reference
+        ]
+        for sources, batched_table, reference_table in zip(
+            table_sources, batched, reference
+        ):
+            # The batched path must equal the per-table loop bit for bit
+            # (infs included — raw bytes), and both equal the cold solve.
+            assert (
+                batched_table._distances.tobytes()
+                == reference_table._distances.tobytes()
+            )
+            _assert_distances_identical(batched_table, new_graph, sources)
+        graph = new_graph
+    return batched_engine, reference_engine
+
+
+class TestAdvanceAllByteIdentity:
+    """≥50-epoch randomized churn chains, batched ≡ per-table ≡ cold."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @settings(max_examples=3, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_iridium_flicker_and_handover_churn(self, backend, seed):
+        batched, reference = _run_batched_chain(
+            "iridium", backend, seed, epochs=50
+        )
+        # The chain must genuinely exercise the stacked kernel path ...
+        assert batched.stats.batched_calls > 0
+        assert batched.stats.batched_rows > 0
+        assert batched.stats.kernel_calls > 0
+        # ... and collapse the per-table kernel calls into per-epoch ones.
+        assert batched.stats.kernel_calls < reference.stats.kernel_calls
+        assert batched.stats.rows_kernel == reference.stats.rows_kernel
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @settings(max_examples=1, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_starlink_flicker_and_handover_churn(self, backend, seed):
+        batched, _ = _run_batched_chain("starlink", backend, seed, epochs=50)
+        assert batched.stats.batched_calls > 0
+        assert batched.stats.kernel_calls > 0
+
+
+class TestAdvanceAllFallbacks:
+    """The legs that cannot batch must still match the per-table loop."""
+
+    def test_churn_guard_engines_stay_identical(self):
+        """Default guard settings: bypassed tables fall back per table."""
+        batched, reference = _run_batched_chain(
+            "iridium", "numpy", seed=7, epochs=30,
+            make_engine=lambda backend: PathEngine(kernel_backend=backend),
+        )
+        # Identical inputs → the guard must have tripped identically.
+        assert batched.stats.bypassed_epochs == reference.stats.bypassed_epochs
+
+    def test_kernel_disabled_delegates_per_table(self):
+        """kernel_backend=None: advance_all is exactly the advance loop."""
+        batched, reference = _run_batched_chain(
+            "iridium", None, seed=11, epochs=10
+        )
+        assert batched.stats.batched_calls == 0
+        assert batched.stats.kernel_calls == 0
+        assert batched.stats.snapshot() == reference.stats.snapshot()
+
+    def test_trivial_diff_rebinds_every_table(self):
+        """An empty diff reuses every table with zero solver work."""
+        full, _ = _base_graph("iridium")
+        engine = _churn_engine("numpy")
+        rng = np.random.default_rng(3)
+        tables = [
+            engine.solve(full, sources=s)
+            for s in _table_sources("iridium", rng, extra_tables=3)
+        ]
+        solver_calls = engine.stats.solver_calls
+        advanced = engine.advance_all(tables, full, full.diff_from(full))
+        assert engine.stats.solver_calls == solver_calls
+        assert engine.stats.batched_calls == 0
+        assert engine.last_advance_costs == [0.0] * len(tables)
+        for before, after in zip(tables, advanced):
+            assert after._distances is before._distances
+
+    def test_advance_costs_attribute_work_per_table(self):
+        """last_advance_costs is parallel to the input tables and ≥ 0."""
+        batched, _ = _run_batched_chain("iridium", "numpy", seed=5, epochs=5)
+        costs = batched.last_advance_costs
+        assert len(costs) == 7  # main + 6 satellite tables
+        assert all(cost >= 0.0 for cost in costs)
+
+    def test_empty_table_list(self):
+        engine = _churn_engine("numpy")
+        full, _ = _base_graph("iridium")
+        assert engine.advance_all([], full, full.diff_from(full)) == []

@@ -1,0 +1,180 @@
+"""The cost-aware extra-table cache: bounding, eviction policy, stats.
+
+``ConstellationState._paths_from`` lazily caches single-source tables
+for satellite-to-satellite queries.  This suite pins the cache's three
+contracts: the effective cap is enforced at *insert* time (and a cap of
+0 disables caching outright), the memory guard shrinks the cap on large
+graphs, and eviction is cost-aware — a table that earns query hits
+survives a flood of one-shot queries, while an evicted table re-solves
+cold on its next use.  Hits, misses and evictions are asserted all the
+way through ``UpdateStats`` (the ``path_statistics`` plumbing).
+"""
+
+import pytest
+
+from repro.core import ConstellationCalculation
+from repro.core.constellation import _ExtraTableScores
+from repro.core.coordinator import UpdateStats
+from repro.scenarios import dart_configuration
+
+
+@pytest.fixture(scope="module")
+def config():
+    return dart_configuration(buoy_count=4, sink_count=4, duration_s=600.0)
+
+
+def _query(state, calculation, identifier, probe_identifier=0):
+    """A satellite-to-satellite delay query (forces an extra table)."""
+    return state.delay_ms(
+        calculation.satellite(0, identifier),
+        calculation.satellite(0, probe_identifier),
+    )
+
+
+class TestInsertTimeBounding:
+    def test_cap_enforced_on_every_insert(self, config):
+        calculation = ConstellationCalculation(config, max_carried_extra_tables=3)
+        state = calculation.state_at(0.0)
+        for i in range(1, 10):
+            _query(state, calculation, i)
+            # Never exceeds the cap intra-epoch, not just at the carry.
+            assert len(state._extra_paths) <= 3
+        assert len(state._extra_paths) == 3
+        assert calculation.path_engine.stats.cache_evictions == 6
+        assert calculation.path_engine.stats.cache_misses == 9
+
+    def test_cap_zero_disables_caching_and_carry(self, config):
+        calculation = ConstellationCalculation(config, max_carried_extra_tables=0)
+        state = calculation.state_at(0.0)
+        _query(state, calculation, 1)
+        _query(state, calculation, 1)
+        assert state._extra_paths == {}
+        # Both queries re-solved cold: nothing was cached, so no hits.
+        assert calculation.path_engine.stats.cache_misses == 2
+        assert calculation.path_engine.stats.cache_hits == 0
+        state, _ = calculation.diff_since(state, 5.0)
+        assert state._extra_paths == {}
+
+    def test_memory_guard_shrinks_cap_on_large_graphs(self, config):
+        calculation = ConstellationCalculation(config, max_carried_extra_tables=10**9)
+
+        class _FakeGraph:
+            def __init__(self, nodes, links):
+                self.index = list(range(nodes))
+                self._links = links
+
+            def total_links(self):
+                return self._links
+
+        budget = calculation.EXTRA_TABLE_MEMORY_BUDGET_MB * 1024 * 1024
+        # Mid-size constellation: the memory bound, not the configured
+        # cap, decides — and it shrinks as the node count grows.
+        mid = calculation._extra_table_cap(_FakeGraph(20_000, 80_000))
+        assert mid == budget // (20_000 * 20 + 80_000)
+        large = calculation._extra_table_cap(_FakeGraph(200_000, 800_000))
+        assert large < mid
+        # Extreme synthetic counts floor at the 32-table minimum.
+        assert calculation._extra_table_cap(_FakeGraph(10**7, 10**8)) == 32
+
+
+class TestCostAwareEviction:
+    def test_hot_table_survives_one_shot_flood(self, config):
+        calculation = ConstellationCalculation(config, max_carried_extra_tables=3)
+        state = calculation.state_at(0.0)
+        # Table for satellite 1 becomes hot: repeated queries record hits.
+        _query(state, calculation, 1)
+        for _ in range(5):
+            assert _query(state, calculation, 1) == pytest.approx(
+                _query(state, calculation, 1)
+            )
+        hot_node = state.node_for(calculation.satellite(0, 1))
+        # Flood of one-shot queries, each inserting (and evicting).
+        for i in range(2, 12):
+            _query(state, calculation, i)
+        assert hot_node in state._extra_paths  # the hot table survived
+        assert len(state._extra_paths) == 3
+        assert calculation.path_engine.stats.cache_hits >= 5
+
+    def test_hot_table_survives_the_epoch_carry(self, config):
+        calculation = ConstellationCalculation(config, max_carried_extra_tables=2)
+        state = calculation.state_at(0.0)
+        _query(state, calculation, 1)  # A: inserted first ...
+        for _ in range(3):
+            _query(state, calculation, 1)  # ... and hot
+        _query(state, calculation, 2)  # B: more recent, never re-read
+        hot_node = state.node_for(calculation.satellite(0, 1))
+        state, _ = calculation.diff_since(state, 5.0)
+        assert hot_node in state._extra_paths
+        # A third table now evicts cold B, not hot A, despite B's recency.
+        _query(state, calculation, 3)
+        assert hot_node in state._extra_paths
+        assert state.node_for(calculation.satellite(0, 2)) not in state._extra_paths
+
+    def test_evicted_table_resolves_cold_on_next_use(self, config):
+        calculation = ConstellationCalculation(config, max_carried_extra_tables=1)
+        state = calculation.state_at(0.0)
+        _query(state, calculation, 1)
+        _query(state, calculation, 2)  # evicts satellite 1's table
+        stats = calculation.path_engine.stats
+        assert stats.cache_evictions == 1
+        cold_before = stats.cold_solves
+        misses_before = stats.cache_misses
+        reference = _query(state, calculation, 1)  # must re-solve cold
+        assert stats.cold_solves == cold_before + 1
+        assert stats.cache_misses == misses_before + 1
+        # ... and the re-solved answer is the correct one.
+        node = state.node_for(calculation.satellite(0, 1))
+        probe = state.node_for(calculation.satellite(0, 0))
+        assert reference == state._extra_paths[node].delay_ms(node, probe)
+
+    def test_scores_decay_and_drop(self):
+        scores = _ExtraTableScores()
+        scores.record_insert(7)
+        for _ in range(5):
+            scores.record_hit(7)
+        scores.record_cost(7, 4.0)
+        scores.record_insert(9)
+        # 7 earned enough hits to outvalue its advance cost: (5+1)/(4+1)
+        # beats the untouched table's (0+1)/(0+1), so 9 evicts first.
+        assert scores.rank(9) < scores.rank(7)
+        scores.decay()
+        assert scores.hits[7] == 2.5
+        assert scores.costs[7] == 2.0
+        scores.drop(7)
+        assert 7 not in scores.hits and 7 not in scores.costs
+
+
+class TestStatsPlumbing:
+    def test_cache_counters_reach_update_stats(self, config):
+        calculation = ConstellationCalculation(config, max_carried_extra_tables=2)
+        state = calculation.state_at(0.0)
+        before = calculation.path_engine.stats.snapshot()
+        for i in range(1, 5):
+            _query(state, calculation, i)
+        _query(state, calculation, 4)  # one hit
+        after = calculation.path_engine.stats.snapshot()
+        stats = UpdateStats()
+        stats.record_path_engine(before, after)
+        totals = stats.path_engine_totals
+        assert totals["cache_misses"] == 4
+        assert totals["cache_hits"] == 1
+        assert totals["cache_evictions"] == 2
+        assert stats.path_cache_events == {
+            "hits": 1, "misses": 4, "evictions": 2,
+        }
+        # The batched-advance attribution rides the same snapshot.
+        assert "tables_advanced" in totals
+        assert "batched_rows" in totals
+
+    def test_advanced_epochs_attribute_tables_and_batches(self, config):
+        calculation = ConstellationCalculation(config, max_carried_extra_tables=8)
+        state = calculation.state_at(0.0)
+        for i in range(1, 5):
+            _query(state, calculation, i)
+        for step in range(1, 4):
+            state, _ = calculation.diff_since(state, step * 5.0)
+        totals = calculation.path_engine.stats.snapshot()
+        # Each advanced epoch carried the main table plus four extras.
+        assert totals["tables_advanced"] >= 15
+        if totals["batched_calls"]:
+            assert totals["batched_rows"] > 0

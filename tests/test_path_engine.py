@@ -362,7 +362,10 @@ class TestEngineOnConstellations:
         probe = limited.satellite(0, 0)
         for i in range(1, 6):
             state.delay_ms(limited.satellite(0, i), probe)
-        assert len(state._extra_paths) == 5
+        # The cap is enforced on insert (evicting as it goes), not just
+        # at the epoch carry, so the cache never exceeds it intra-epoch.
+        assert len(state._extra_paths) == 2
+        assert limited.path_engine.stats.cache_evictions == 3
         state, _ = limited.diff_since(state, 5.0)
         assert len(state._extra_paths) == 2  # most recent two survive
         # The memory guard wins over a huge configured cap on any graph.
