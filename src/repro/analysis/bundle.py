@@ -54,6 +54,8 @@ def write_experiment_bundle(result, output_dir: str | Path) -> list[Path]:
         },
         "fault_events": len(result.fault_events),
     }
+    if getattr(result, "serve_statistics", None):
+        summary["serve"] = result.serve_statistics
     result_path = output_dir / "result.json"
     result_path.write_text(json.dumps(summary, indent=2) + "\n")
     written.append(result_path)

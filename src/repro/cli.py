@@ -189,6 +189,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     }
     if overrides:
         spec = spec.with_runtime(**overrides)
+    if args.serve is not None:
+        spec = spec.with_serve(args.serve)
     output_dir = None
     if not args.no_output:
         output_dir = args.output_dir if args.output_dir else f"{spec.name}-results"
@@ -264,6 +266,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--duration", type=float, default=None,
                      help="override the spec's duration [s]")
     run.add_argument("--seed", type=int, default=None, help="override the spec's seed")
+    run.add_argument(
+        "--serve",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="HOST:PORT",
+        help="attach the streaming gateway for the run (default bind: "
+        "127.0.0.1 on an ephemeral port); overrides the spec's [serve] table",
+    )
     _add_parallelism_arguments(run, defaults=False)
     run.set_defaults(handler=_cmd_run)
 

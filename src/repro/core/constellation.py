@@ -55,7 +55,7 @@ from __future__ import annotations
 
 from collections.abc import Mapping
 from dataclasses import dataclass, field
-from typing import Iterator, Literal, Optional, Sequence
+from typing import Callable, Iterator, Literal, Optional, Sequence
 
 import numpy as np
 
@@ -309,6 +309,11 @@ class _LazyUplinkTable(Mapping):
         return repr(self._materialize())
 
 
+def _default_cache_score(hits: float, cost: float) -> float:
+    """Default table value: earned hits against measured carry cost."""
+    return (hits + 1.0) / (cost + 1.0)
+
+
 class _ExtraTableScores:
     """Cost-aware value bookkeeping behind the extra-table cache.
 
@@ -316,22 +321,28 @@ class _ExtraTableScores:
     query hits) against what it costs (measured advance work: ~1 per
     kernel row, ~4 per solver/cold row, folded in from
     ``PathEngine.last_advance_costs``).  The cache evicts the
-    lowest-value table first — ``value = (hits + 1) / (cost + 1)`` —
-    breaking ties by least-recent use, so a hot table survives a flood
-    of one-shot queries while a table that is expensive to drag across
-    churn epochs and never read is dropped early.  Hits and costs decay
-    geometrically once per epoch so stale popularity fades.  Entries of
+    lowest-value table first — by default ``value = (hits + 1) /
+    (cost + 1)``, replaceable through ``score`` — breaking ties by
+    least-recent use, so a hot table survives a flood of one-shot
+    queries while a table that is expensive to drag across churn epochs
+    and never read is dropped early.  Hits and costs decay geometrically
+    by ``decay_factor`` once per epoch so stale popularity fades (0.5
+    per epoch by default, i.e. a half-life of one epoch).  Entries of
     evicted tables are dropped outright, keeping the bookkeeping bounded
     by the cache cap.
     """
 
-    __slots__ = ("hits", "costs", "last_used", "_clock")
+    __slots__ = ("hits", "costs", "last_used", "_clock", "decay_factor", "score")
 
-    def __init__(self):
+    def __init__(self, decay_factor: float = 0.5, score=None):
+        if not 0.0 < decay_factor <= 1.0:
+            raise ValueError("decay factor must be in (0, 1]")
         self.hits: dict[int, float] = {}
         self.costs: dict[int, float] = {}
         self.last_used: dict[int, int] = {}
         self._clock = 0
+        self.decay_factor = decay_factor
+        self.score = score if score is not None else _default_cache_score
 
     def _touch(self, node: int) -> None:
         self._clock += 1
@@ -350,10 +361,10 @@ class _ExtraTableScores:
         self.costs[node] = self.costs.get(node, 0.0) + cost
 
     def decay(self) -> None:
-        """Halve hits and costs (called once per advanced epoch)."""
+        """Geometrically decay hits and costs (once per advanced epoch)."""
         for table in (self.hits, self.costs):
             for node in table:
-                table[node] *= 0.5
+                table[node] *= self.decay_factor
 
     def drop(self, node: int) -> None:
         self.hits.pop(node, None)
@@ -362,7 +373,7 @@ class _ExtraTableScores:
 
     def rank(self, node: int) -> tuple[float, int]:
         """Sort key: ascending → first to evict (low value, then LRU)."""
-        value = (self.hits.get(node, 0.0) + 1.0) / (self.costs.get(node, 0.0) + 1.0)
+        value = self.score(self.hits.get(node, 0.0), self.costs.get(node, 0.0))
         return (value, self.last_used.get(node, 0))
 
 
@@ -528,6 +539,8 @@ class ConstellationCalculation:
         eager_uplinks: bool = False,
         max_carried_extra_tables: Optional[int] = None,
         all_pairs: bool = False,
+        cache_decay_half_life: float = 1.0,
+        cache_score: Optional[Callable[[float, float], float]] = None,
     ):
         self.config = config
         # ``all_pairs=True`` is the serving-tier shape: the main table's
@@ -541,8 +554,19 @@ class ConstellationCalculation:
         self.path_sources = path_sources
         # Cost-aware value book of the extra-table cache, shared with
         # every state this calculation produces (eviction needs history
-        # that outlives a single epoch's state object).
-        self._extra_table_scores = _ExtraTableScores()
+        # that outlives a single epoch's state object).  The eviction
+        # value function is tunable: ``cache_decay_half_life`` (in
+        # epochs) sets how fast recorded hits/costs fade, ``cache_score``
+        # replaces the default ``(hits + 1) / (cost + 1)`` ranking.  The
+        # defaults reproduce the historical behaviour exactly.
+        if cache_decay_half_life <= 0:
+            raise ValueError("cache decay half-life must be positive")
+        self.cache_decay_half_life = cache_decay_half_life
+        self.cache_score = cache_score
+        self._extra_table_scores = _ExtraTableScores(
+            decay_factor=0.5 ** (1.0 / cache_decay_half_life),
+            score=cache_score,
+        )
         # Cap on lazily created single-source tables carried between
         # epochs (None → the class default); always additionally bounded
         # by EXTRA_TABLE_MEMORY_BUDGET_MB, see :meth:`_extra_table_cap`.
@@ -678,6 +702,20 @@ class ConstellationCalculation:
             cheap_geodetic_box=False,
             eager_uplinks=True,
         )
+
+    def cache_parameters(self) -> dict:
+        """The effective extra-table cache tuning, for result records.
+
+        Experiment bundles persist this next to the cache counters so a
+        run's eviction behaviour is reproducible from its ``result.json``.
+        """
+        score = self._extra_table_scores.score
+        return {
+            "decay_half_life_epochs": float(self.cache_decay_half_life),
+            "decay_factor": float(self._extra_table_scores.decay_factor),
+            "score": getattr(score, "__name__", repr(score)),
+            "max_carried_extra_tables": int(self.max_carried_extra_tables),
+        }
 
     # -- machine identities -------------------------------------------------
 

@@ -23,7 +23,8 @@ the nearest keyframe at or before their epoch and replay
 
 from __future__ import annotations
 
-from typing import Optional
+import threading
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -35,9 +36,23 @@ from repro.core.constellation import (
 )
 from repro.net.network import PairRule
 
+#: Signature of an epoch listener: ``(epoch, state, diff)`` per publication.
+EpochListener = Callable[[int, ConstellationState, Optional[ConstellationDiff]], None]
+
 
 class ConstellationDatabase:
-    """Holds the most recent constellation state and answers queries about it."""
+    """Holds the most recent constellation state and answers queries about it.
+
+    The database is the publication point of the state-distribution path:
+    :meth:`set_state` epochs feed the shared
+    :class:`~repro.serve.codec.EpochUpdateCodec` (``self.codec``), which
+    encodes each epoch's keyframe/diff exactly once for every downstream
+    consumer — the streaming gateway's fan-out, the info API's ``/diffs``
+    JSON and the analysis bundle all render views of those same bytes.
+    Reads and publications are serialised by an internal lock so info-API
+    threads never observe a torn epoch; registered epoch listeners (the
+    gateway) are notified after each publication, outside the lock.
+    """
 
     def __init__(self, keyframe_interval: int = 10, retained_keyframes: int = 2):
         if keyframe_interval <= 0:
@@ -52,8 +67,27 @@ class ConstellationDatabase:
         self.retained_keyframes = retained_keyframes
         self._keyframes: dict[int, ConstellationState] = {}
         self._diffs: dict[int, ConstellationDiff] = {}
+        self._lock = threading.RLock()
+        self._listeners: list[EpochListener] = []
+        # Imported here, not at module scope: repro.core imports the
+        # database at package-import time, while the serving tier imports
+        # repro.core — deferring to construction time breaks the cycle.
+        from repro.serve.codec import EpochUpdateCodec
+
+        self.codec = EpochUpdateCodec(self)
 
     # -- updates -----------------------------------------------------------
+
+    def add_listener(self, listener: EpochListener) -> None:
+        """Register a callable invoked after every published epoch."""
+        with self._lock:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: EpochListener) -> None:
+        """Unregister a previously added epoch listener (idempotent)."""
+        with self._lock:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
 
     def set_state(
         self, state: ConstellationState, diff: Optional[ConstellationDiff] = None
@@ -65,15 +99,23 @@ class ConstellationDatabase:
         full resynchronisation) always become keyframes, because the diff
         chain towards them is broken.
         """
-        self._state = state
-        self.epoch += 1
-        self.updated_at_s = state.time_s
-        self._rule_cache.clear()
-        if diff is not None:
-            self._diffs[self.epoch] = diff
-        if diff is None or (self.epoch - 1) % self.keyframe_interval == 0:
-            self._keyframes[self.epoch] = state
-            self._prune_history()
+        with self._lock:
+            self._state = state
+            self.epoch += 1
+            self.updated_at_s = state.time_s
+            self._rule_cache.clear()
+            if diff is not None:
+                self._diffs[self.epoch] = diff
+            if diff is None or (self.epoch - 1) % self.keyframe_interval == 0:
+                self._keyframes[self.epoch] = state
+                self._prune_history()
+            epoch = self.epoch
+            listeners = list(self._listeners)
+        # Listeners run outside the lock: the gateway's publish hook hands
+        # the epoch to its event loop and must never delay the coordinator
+        # or deadlock against a listener that reads the database back.
+        for listener in listeners:
+            listener(epoch, state, diff)
 
     def _prune_history(self) -> None:
         keyframe_epochs = sorted(self._keyframes)
@@ -82,6 +124,7 @@ class ConstellationDatabase:
         oldest_keyframe = min(self._keyframes)
         for epoch in [e for e in self._diffs if e <= oldest_keyframe]:
             del self._diffs[epoch]
+        self.codec.prune(oldest_keyframe)
 
     # -- diff history ------------------------------------------------------
 
@@ -92,13 +135,15 @@ class ConstellationDatabase:
 
     def keyframe_epochs(self) -> list[int]:
         """Epoch numbers of the retained full-state keyframes (ascending)."""
-        return sorted(self._keyframes)
+        with self._lock:
+            return sorted(self._keyframes)
 
     def keyframe_state(self, epoch: int) -> ConstellationState:
         """The retained full state of a keyframe epoch."""
-        if epoch not in self._keyframes:
-            raise KeyError(f"epoch {epoch} is not a retained keyframe")
-        return self._keyframes[epoch]
+        with self._lock:
+            if epoch not in self._keyframes:
+                raise KeyError(f"epoch {epoch} is not a retained keyframe")
+            return self._keyframes[epoch]
 
     def diffs_since(self, epoch: int) -> list[ConstellationDiff]:
         """The diff chain replaying ``epoch`` forward to the current epoch.
@@ -108,16 +153,19 @@ class ConstellationDatabase:
         consumer at ``epoch`` applies the returned diffs in order to arrive
         at the current state.
         """
-        if epoch > self.epoch:
-            raise KeyError(f"epoch {epoch} is in the future (current: {self.epoch})")
-        wanted = range(epoch + 1, self.epoch + 1)
-        missing = [e for e in wanted if e not in self._diffs]
-        if missing:
-            raise KeyError(
-                f"diff history no longer covers epochs {missing}; "
-                f"resynchronise from a keyframe ({self.keyframe_epochs()})"
-            )
-        return [self._diffs[e] for e in wanted]
+        with self._lock:
+            if epoch > self.epoch:
+                raise KeyError(
+                    f"epoch {epoch} is in the future (current: {self.epoch})"
+                )
+            wanted = range(epoch + 1, self.epoch + 1)
+            missing = [e for e in wanted if e not in self._diffs]
+            if missing:
+                raise KeyError(
+                    f"diff history no longer covers epochs {missing}; "
+                    f"resynchronise from a keyframe ({self.keyframe_epochs()})"
+                )
+            return [self._diffs[e] for e in wanted]
 
     def diffs_between(self, start_epoch: int, end_epoch: int) -> list[ConstellationDiff]:
         """The unbroken diff chain advancing ``start_epoch`` to ``end_epoch``.
@@ -129,12 +177,13 @@ class ConstellationDatabase:
         so the chain to the current epoch restricted to ``end_epoch`` is
         exactly the wanted chain.)
         """
-        if not 0 <= start_epoch <= end_epoch <= self.epoch:
-            raise KeyError(
-                f"epoch range [{start_epoch}, {end_epoch}] is not within "
-                f"[0, {self.epoch}]"
-            )
-        return self.diffs_since(start_epoch)[: end_epoch - start_epoch]
+        with self._lock:
+            if not 0 <= start_epoch <= end_epoch <= self.epoch:
+                raise KeyError(
+                    f"epoch range [{start_epoch}, {end_epoch}] is not within "
+                    f"[0, {self.epoch}]"
+                )
+            return self.diffs_since(start_epoch)[: end_epoch - start_epoch]
 
     def activity_at_epoch(self, epoch: int) -> dict[int, np.ndarray]:
         """Per-shell bounding-box activity masks as of a past epoch.
@@ -146,28 +195,39 @@ class ConstellationDatabase:
         Raises ``KeyError`` when the pruned history no longer reaches
         ``epoch``.
         """
-        if epoch == self.epoch and self._state is not None:
-            return {
+        with self._lock:
+            if epoch == self.epoch and self._state is not None:
+                return {
+                    shell: mask.copy()
+                    for shell, mask in self._state.active_satellites.items()
+                }
+            anchors = [k for k in self._keyframes if k <= epoch]
+            if not anchors:
+                raise KeyError(
+                    f"no retained keyframe at or before epoch {epoch} "
+                    f"(keyframes: {self.keyframe_epochs()})"
+                )
+            anchor = max(anchors)
+            masks = {
                 shell: mask.copy()
-                for shell, mask in self._state.active_satellites.items()
+                for shell, mask in self._keyframes[anchor].active_satellites.items()
             }
-        anchors = [k for k in self._keyframes if k <= epoch]
-        if not anchors:
-            raise KeyError(
-                f"no retained keyframe at or before epoch {epoch} "
-                f"(keyframes: {self.keyframe_epochs()})"
-            )
-        anchor = max(anchors)
-        masks = {
-            shell: mask.copy()
-            for shell, mask in self._keyframes[anchor].active_satellites.items()
-        }
-        for diff in self.diffs_between(anchor, epoch):
-            for shell, identifiers in diff.activated.items():
-                masks[shell][identifiers] = True
-            for shell, identifiers in diff.deactivated.items():
-                masks[shell][identifiers] = False
-        return masks
+            for diff in self.diffs_between(anchor, epoch):
+                for shell, identifiers in diff.activated.items():
+                    masks[shell][identifiers] = True
+                for shell, identifiers in diff.deactivated.items():
+                    masks[shell][identifiers] = False
+            return masks
+
+    @property
+    def lock(self) -> threading.RLock:
+        """The reentrant lock serialising publications and reads.
+
+        Consumers that make multiple correlated reads (e.g. the gateway's
+        query path reading the state and its engine counters together)
+        hold it across the whole read.
+        """
+        return self._lock
 
     @property
     def state(self) -> ConstellationState:
@@ -185,22 +245,23 @@ class ConstellationDatabase:
 
     def pair_rule(self, source: MachineId, destination: MachineId) -> PairRule:
         """Delay/bandwidth rule currently installed for a machine pair."""
-        key = (source.name, destination.name)
-        if key in self._rule_cache:
-            return self._rule_cache[key]
-        state = self.state
-        delay = state.delay_ms(source, destination)
-        reachable = bool(np.isfinite(delay))
-        bandwidth = state.bandwidth_kbps(source, destination) if reachable else None
-        if bandwidth is not None and bandwidth <= 0:
-            bandwidth = None
-        rule = PairRule(
-            delay_ms=delay if reachable else 0.0,
-            bandwidth_kbps=bandwidth,
-            reachable=reachable,
-        )
-        self._rule_cache[key] = rule
-        return rule
+        with self._lock:
+            key = (source.name, destination.name)
+            if key in self._rule_cache:
+                return self._rule_cache[key]
+            state = self.state
+            delay = state.delay_ms(source, destination)
+            reachable = bool(np.isfinite(delay))
+            bandwidth = state.bandwidth_kbps(source, destination) if reachable else None
+            if bandwidth is not None and bandwidth <= 0:
+                bandwidth = None
+            rule = PairRule(
+                delay_ms=delay if reachable else 0.0,
+                bandwidth_kbps=bandwidth,
+                reachable=reachable,
+            )
+            self._rule_cache[key] = rule
+            return rule
 
     def diff_history_info(self, since_epoch: int) -> dict:
         """Wire-format diff history: "what changed since ``since_epoch``?".
@@ -215,55 +276,24 @@ class ConstellationDatabase:
         plus the per-shell ``activated``/``deactivated`` satellite ids.
         Raises ``KeyError`` (→ 404 with a keyframe hint) when the pruned
         history no longer reaches back to ``since_epoch``.
-        """
-        chain = self.diffs_since(since_epoch)
-        records = []
-        epoch = since_epoch
-        for diff in chain:
-            epoch += 1
-            topology = diff.topology
-            def _rows(endpoints: np.ndarray, *values: np.ndarray) -> list:
-                # Zip integer endpoint pairs with float value columns so the
-                # JSON keeps node ids integral (column_stack would upcast
-                # everything to float).
-                columns = [value.tolist() for value in values]
-                return [
-                    [a, b, *row_values]
-                    for (a, b), *row_values in zip(endpoints.tolist(), *columns)
-                ]
 
-            records.append({
-                "epoch": epoch,
-                "time_s": diff.time_s,
-                "previous_time_s": diff.previous_time_s,
-                "summary": diff.summary(),
-                "links_added": _rows(
-                    topology.added_endpoints(),
-                    topology.current.delays_ms[topology.links_added],
-                    topology.current.bandwidths_kbps[topology.links_added],
-                ),
-                "links_removed": topology.removed_endpoints().tolist(),
-                "delay_changed": _rows(
-                    topology.delay_changed_endpoints(),
-                    topology.delay_changed_values_ms(),
-                ),
-                "bandwidth_changed": _rows(
-                    topology.bandwidth_changed_endpoints(),
-                    topology.bandwidth_changed_values_kbps(),
-                ),
-                "activated": {
-                    str(shell): ids.tolist() for shell, ids in diff.activated.items()
-                },
-                "deactivated": {
-                    str(shell): ids.tolist() for shell, ids in diff.deactivated.items()
-                },
-            })
-        return {
-            "since_epoch": since_epoch,
-            "epoch": self.epoch,
-            "keyframe_epochs": self.keyframe_epochs(),
-            "diffs": records,
-        }
+        The records are rendered through the shared epoch-update codec:
+        each diff is encoded once into its wire frame (cached — the same
+        bytes the streaming gateway fans out) and the JSON is a view of
+        the decoded frame, so the two paths can never disagree.
+        """
+        with self._lock:
+            chain = self.diffs_since(since_epoch)
+            records = [
+                self.codec.diff_update(since_epoch + offset, diff=diff).json_record()
+                for offset, diff in enumerate(chain, start=1)
+            ]
+            return {
+                "since_epoch": since_epoch,
+                "epoch": self.epoch,
+                "keyframe_epochs": self.keyframe_epochs(),
+                "diffs": records,
+            }
 
     # -- info-API queries ----------------------------------------------------
 

@@ -78,6 +78,29 @@ class FaultInjector:
         self.network.clear_loss_override(source, destination)
         self._log(now_s, f"{source.name}->{destination.name}", "packet-loss-cleared")
 
+    def cap_bandwidth(
+        self, source: MachineId, destination: MachineId, bandwidth_kbps: float, now_s: float
+    ) -> None:
+        """Cap the bandwidth of a directed machine pair (degraded link)."""
+        if self.network is None:
+            raise RuntimeError("no virtual network attached to the fault injector")
+        self.network.set_bandwidth_cap(source, destination, bandwidth_kbps)
+        self._log(
+            now_s,
+            f"{source.name}->{destination.name}",
+            "bandwidth-cap",
+            f"kbps={bandwidth_kbps}",
+        )
+
+    def clear_bandwidth_cap(
+        self, source: MachineId, destination: MachineId, now_s: float
+    ) -> None:
+        """Remove an injected bandwidth cap from a directed machine pair."""
+        if self.network is None:
+            raise RuntimeError("no virtual network attached to the fault injector")
+        self.network.clear_bandwidth_cap(source, destination)
+        self._log(now_s, f"{source.name}->{destination.name}", "bandwidth-cap-cleared")
+
     #: Declarative op kinds understood by :meth:`apply_op`.
     OP_KINDS = (
         "terminate",
@@ -86,6 +109,8 @@ class FaultInjector:
         "restore-cpu",
         "packet-loss",
         "clear-packet-loss",
+        "bandwidth-cap",
+        "clear-bandwidth-cap",
     )
 
     def apply_op(
@@ -120,6 +145,12 @@ class FaultInjector:
             )
         elif kind == "clear-packet-loss":
             self.clear_packet_loss(source, destination, now_s)
+        elif kind == "bandwidth-cap":
+            self.cap_bandwidth(
+                source, destination, float(params["bandwidth_kbps"]), now_s
+            )
+        elif kind == "clear-bandwidth-cap":
+            self.clear_bandwidth_cap(source, destination, now_s)
         else:
             raise ValueError(
                 f"unknown fault op kind {kind!r} (known: {', '.join(self.OP_KINDS)})"

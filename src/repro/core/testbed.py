@@ -39,11 +39,18 @@ class Celestial:
         parallelism: Literal["threads", "processes"] = "threads",
         worker_count: Optional[int] = None,
         transport="pipe",
+        cache_decay_half_life: float = 1.0,
+        cache_score=None,
     ):
         self.config = config
         self.sim = Simulation()
         self.streams = RandomStreams(config.seed)
-        self.calculation = ConstellationCalculation(config, path_sources=path_sources)
+        self.calculation = ConstellationCalculation(
+            config,
+            path_sources=path_sources,
+            cache_decay_half_life=cache_decay_half_life,
+            cache_score=cache_score,
+        )
         self.database = ConstellationDatabase()
         self.dns = CelestialDNS(config.shell_sizes, config.ground_station_names)
         self.hosts = [
@@ -207,7 +214,9 @@ class Celestial:
         calls, kernel calls, repaired rows, churn-guard bypasses, the
         epoch-batched ``advance_all`` attribution); ``regimes`` counts
         which path-repair regime each coordinator update took; ``cache``
-        summarises the extra-table cache's hit/miss/eviction totals.
+        summarises the extra-table cache's hit/miss/eviction totals;
+        ``cache_parameters`` records the eviction value-function tunables
+        the run used, so result bundles are self-describing.
         """
         regimes: dict[str, int] = {}
         for regime in self.coordinator.stats.path_regimes:
@@ -216,6 +225,7 @@ class Celestial:
             "totals": dict(self.coordinator.stats.path_engine_totals),
             "regimes": regimes,
             "cache": self.coordinator.stats.path_cache_events,
+            "cache_parameters": self.calculation.cache_parameters(),
         }
 
     def booted_machines(self) -> int:

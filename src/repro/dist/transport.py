@@ -44,6 +44,9 @@ supervisor's crash detection and the worker's exit path work unchanged.
 
 from __future__ import annotations
 
+import hashlib
+import hmac
+import os
 import select
 import socket
 import struct
@@ -56,6 +59,9 @@ from repro.dist.wire import FrameKind
 #: Upper bound on one length-prefixed frame (1 GiB).  A full-Starlink slice
 #: is a few MiB; anything near this bound is stream corruption, not data.
 MAX_FRAME_BYTES = 1 << 30
+
+#: Bytes of entropy in an authentication challenge nonce.
+AUTH_NONCE_BYTES = 32
 
 _LENGTH_PREFIX = struct.Struct("<I")
 
@@ -70,6 +76,62 @@ class TransportTimeout(TransportError, TimeoutError):
 
 class HandshakeError(TransportError):
     """A connecting worker failed the HELLO handshake."""
+
+
+# -- shared-secret authentication ---------------------------------------------
+
+
+def auth_digest(secret: str, nonce: bytes, identity: str) -> bytes:
+    """The HMAC-SHA256 response to an authentication challenge.
+
+    Keyed by the shared secret over ``nonce || identity``: binding the
+    dialer's claimed identity (``worker-<index>`` for workers, the client
+    id for gateway subscribers) into the digest stops a valid response
+    from being replayed for a different slot, and the fresh server nonce
+    stops replays across connections.
+    """
+    message = nonce + identity.encode("utf-8")
+    return hmac.new(secret.encode("utf-8"), message, hashlib.sha256).digest()
+
+
+def verify_auth(
+    transport: Transport, secret: str, identity: str, timeout_s: float
+) -> bool:
+    """Server side: challenge a dialer and verify its digest.
+
+    Sends a ``CHALLENGE`` frame with a fresh nonce and expects an ``AUTH``
+    frame answering it.  Returns ``False`` (instead of raising) on a wrong
+    digest, an unexpected frame or a handshake timeout, so accept loops
+    can drop the dialer and keep listening.
+    """
+    nonce = os.urandom(AUTH_NONCE_BYTES)
+    try:
+        transport.send_bytes(
+            wire.encode_frame(FrameKind.CHALLENGE, {"nonce": nonce})
+        )
+        kind, meta, _arrays = wire.decode_frame(
+            transport.recv_bytes(timeout=timeout_s)
+        )
+    except (wire.WireError, TransportError, EOFError, OSError):
+        return False
+    if kind is not FrameKind.AUTH:
+        return False
+    digest = meta.get("digest")
+    if not isinstance(digest, bytes):
+        return False
+    return hmac.compare_digest(digest, auth_digest(secret, nonce, identity))
+
+
+def answer_challenge(
+    transport: Transport, meta: dict, secret: str, identity: str
+) -> None:
+    """Dialer side: answer a received ``CHALLENGE`` frame's nonce."""
+    nonce = meta.get("nonce", b"")
+    transport.send_bytes(
+        wire.encode_frame(
+            FrameKind.AUTH, {"digest": auth_digest(secret, nonce, identity)}
+        )
+    )
 
 
 class Transport:
@@ -237,13 +299,19 @@ def connect_transport(
     port: int,
     worker_index: int,
     timeout_s: float = 30.0,
+    auth_secret: str = "",
 ) -> tuple[Any, SocketTransport]:
     """Worker side: dial the supervisor, handshake, receive the spec.
 
     Retries the TCP connect until ``timeout_s`` (the supervisor may still be
     binding its listeners, or — after a crash — still tearing down the dead
     predecessor), then sends ``HELLO`` with this worker's index and waits
-    for the answering ``SPEC`` frame.  Returns ``(worker_spec, transport)``.
+    for the answering ``SPEC`` frame.  A supervisor configured with a
+    shared secret interposes a ``CHALLENGE`` frame before the spec; the
+    worker answers it with the HMAC digest derived from ``auth_secret``
+    (an empty secret answers with a digest that cannot match, so the
+    mismatch surfaces as the supervisor closing the connection).
+    Returns ``(worker_spec, transport)``.
     """
     deadline = time.monotonic() + timeout_s
     while True:
@@ -262,6 +330,14 @@ def connect_transport(
         )
         data = transport.recv_bytes(timeout=max(0.05, deadline - time.monotonic()))
         kind, meta, _arrays = wire.decode_frame(data)
+        if kind is FrameKind.CHALLENGE:
+            answer_challenge(
+                transport, meta, auth_secret, f"worker-{worker_index}"
+            )
+            data = transport.recv_bytes(
+                timeout=max(0.05, deadline - time.monotonic())
+            )
+            kind, meta, _arrays = wire.decode_frame(data)
         if kind is not FrameKind.SPEC:
             raise HandshakeError(
                 f"expected a SPEC frame after HELLO, got {kind.name}"
@@ -281,9 +357,16 @@ class SocketListener:
     supervisor replays the ledger into it.
     """
 
-    def __init__(self, worker_index: int, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        worker_index: int,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        auth_secret: str = "",
+    ):
         self.worker_index = worker_index
         self.host = host
+        self.auth_secret = auth_secret
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._sock.bind((host, port))
@@ -341,6 +424,18 @@ class SocketListener:
             ):
                 transport.close()
                 continue
+            if self.auth_secret:
+                # The challenge happens before the SPEC frame is sent, so
+                # an unauthenticated dialer never sees the worker blueprint.
+                handshake_budget = min(5.0, max(0.05, deadline - time.monotonic()))
+                if not verify_auth(
+                    transport,
+                    self.auth_secret,
+                    f"worker-{self.worker_index}",
+                    handshake_budget,
+                ):
+                    transport.close()
+                    continue
             return transport
 
     def close(self) -> None:
@@ -419,6 +514,7 @@ class TcpTransportFactory(TransportFactory):
         base_port: int = 0,
         external: bool = False,
         accept_timeout_s: float = 60.0,
+        auth_secret: str = "",
     ):
         if external and base_port == 0:
             raise ValueError(
@@ -429,6 +525,7 @@ class TcpTransportFactory(TransportFactory):
         self.base_port = base_port
         self.external = external
         self.accept_timeout_s = accept_timeout_s
+        self.auth_secret = auth_secret
         self._listeners: dict[int, SocketListener] = {}
         self._closed = False
 
@@ -439,7 +536,10 @@ class TcpTransportFactory(TransportFactory):
         if worker_index not in self._listeners:
             port = 0 if self.base_port == 0 else self.base_port + worker_index
             self._listeners[worker_index] = SocketListener(
-                worker_index, host=self.host, port=port
+                worker_index,
+                host=self.host,
+                port=port,
+                auth_secret=self.auth_secret,
             )
         return self._listeners[worker_index]
 
@@ -451,8 +551,9 @@ class TcpTransportFactory(TransportFactory):
         if not self.external:
             process = ctx.Process(
                 target=tcp_worker_main,
-                # Workers dial the loopback/LAN address the listener bound.
-                args=(self.host, listener.port, spec.worker_index),
+                # Workers dial the loopback/LAN address the listener bound;
+                # a spawned worker inherits the supervisor's shared secret.
+                args=(self.host, listener.port, spec.worker_index, self.auth_secret),
                 name=f"celestial-worker-{spec.worker_index}",
                 daemon=True,
             )

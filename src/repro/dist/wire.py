@@ -103,9 +103,22 @@ class FrameKind(enum.IntEnum):
     WEDGE = 33  # test hook: hang forever while staying alive
     # transport handshake (TCP): worker → supervisor greeting carrying the
     # worker index (the frame header itself carries WIRE_VERSION), answered
-    # by the supervisor with the worker's blueprint.
+    # by the supervisor with the worker's blueprint.  When the listener is
+    # configured with a shared secret the greeting is interposed by a
+    # CHALLENGE (nonce) → AUTH (HMAC response) exchange before SPEC is sent.
     HELLO = 40
     SPEC = 41
+    CHALLENGE = 42
+    AUTH = 43
+    # serving tier (repro.serve): one epoch's state distribution unit — a
+    # full-state KEYFRAME or the DIFF against the previous epoch — plus the
+    # subscription/query handshake of the streaming gateway.
+    KEYFRAME = 50
+    DIFF = 51
+    SUBSCRIBE = 52
+    SUBSCRIBE_ACK = 53
+    QUERY = 54
+    RESULT = 55
 
 
 def encode_frame(

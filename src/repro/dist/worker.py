@@ -298,14 +298,20 @@ def worker_main(spec: WorkerSpec, conn) -> None:
             pass
 
 
-def tcp_worker_main(host: str, port: int, worker_index: int) -> None:
+def tcp_worker_main(
+    host: str, port: int, worker_index: int, auth_secret: str = ""
+) -> None:
     """Child-process entrypoint of a supervisor-spawned TCP worker.
 
     Identical to what ``python -m repro.dist.worker --connect`` runs: dial,
-    handshake, receive the spec over the wire, serve — so the localhost
-    equivalence suite exercises exactly the remote-placement code path.
+    handshake (answering the supervisor's HMAC challenge when a shared
+    secret is configured), receive the spec over the wire, serve — so the
+    localhost equivalence suite exercises exactly the remote-placement
+    code path.
     """
-    spec, transport = connect_transport(host, port, worker_index)
+    spec, transport = connect_transport(
+        host, port, worker_index, auth_secret=auth_secret
+    )
     try:
         _Worker(spec, transport).run()
     finally:
@@ -343,13 +349,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="reconnect after a dropped connection instead of exiting "
         "(a clean SHUTDOWN always exits)",
     )
+    parser.add_argument(
+        "--auth-secret",
+        default=os.environ.get("CELESTIAL_AUTH_SECRET", ""),
+        help="shared secret answering the supervisor's HMAC challenge "
+        "(defaults to $CELESTIAL_AUTH_SECRET; empty disables auth)",
+    )
     args = parser.parse_args(argv)
     host, _, port_text = args.connect.rpartition(":")
     if not host or not port_text.isdigit():
         parser.error(f"--connect expects HOST:PORT, got {args.connect!r}")
     while True:
         spec, transport = connect_transport(
-            host, int(port_text), args.index, timeout_s=args.connect_timeout
+            host,
+            int(port_text),
+            args.index,
+            timeout_s=args.connect_timeout,
+            auth_secret=args.auth_secret,
         )
         try:
             clean_shutdown = _Worker(spec, transport).run()

@@ -35,6 +35,7 @@ from repro.experiments.spec import (
     MetricsSpec,
     RuntimeSpec,
     ScenarioSpec,
+    ServeSpec,
     WorkloadSpec,
 )
 from repro.experiments.runner import (
@@ -54,6 +55,7 @@ __all__ = [
     "RuntimeSpec",
     "ScenarioEntry",
     "ScenarioSpec",
+    "ServeSpec",
     "UnknownScenarioError",
     "WorkloadSpec",
     "build",

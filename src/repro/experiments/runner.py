@@ -65,6 +65,9 @@ class ExperimentResult:
     #: (``{"totals": {...}, "regimes": {...}}``) — which path-repair
     #: regime the run's epochs took.
     path_statistics: dict = field(default_factory=dict)
+    #: Streaming-gateway counters when the spec attached a serving tier
+    #: (``[serve]``): published epochs, encode count, per-client delivery.
+    serve_statistics: dict = field(default_factory=dict)
     #: Files written by the result bundle (empty without an output dir).
     output_paths: list[Path] = field(default_factory=list)
 
@@ -125,8 +128,77 @@ def _resolve_machine(testbed: Celestial, target: str) -> MachineId:
     return testbed.ground_station(target)
 
 
+def _outage_stations(testbed: Celestial, config: Configuration, op: FaultOp) -> list[MachineId]:
+    """The ground stations a ``ground-outage`` op takes down.
+
+    Stations are selected either by comma-separated names in the op's
+    target, or — when the target is empty — by a geographic region given
+    as ``lat_min``/``lat_max``/``lon_min``/``lon_max`` params (a regional
+    blackout: every configured station inside the box goes dark).
+    """
+    if op.target:
+        names = [name.strip() for name in op.target.split(",") if name.strip()]
+    else:
+        bounds = ("lat_min", "lat_max", "lon_min", "lon_max")
+        missing = [key for key in bounds if key not in op.params]
+        if missing:
+            raise ExperimentSpecError(
+                "ground-outage needs station names in 'target' or a region "
+                f"(missing params: {', '.join(missing)})"
+            )
+        from repro.core.bounding_box import BoundingBox
+
+        box = BoundingBox(*(float(op.params[key]) for key in bounds))
+        names = [
+            gst.name
+            for gst in config.ground_stations
+            if box.contains(gst.station.latitude_deg, gst.station.longitude_deg)
+        ]
+    if not names:
+        raise ExperimentSpecError("ground-outage selects no ground stations")
+    return [testbed.ground_station(name) for name in names]
+
+
+def _schedule_ground_outage(testbed: Celestial, config: Configuration, op: FaultOp) -> None:
+    """Arm a ``ground-outage`` op: terminate a set of stations at once.
+
+    The op expands to one ``terminate`` per selected station (and, when
+    ``duration_s`` is given, one ``reboot`` per station at recovery time),
+    routed through :meth:`FaultInjector.apply_op` — so the injector event
+    log is identical to a run hand-wiring the same terminates and reboots.
+    """
+    injector = testbed.fault_injector
+    stations = _outage_stations(testbed, config, op)
+    duration_s = op.params.get("duration_s")
+
+    def _down(now_s: float) -> None:
+        for machine in stations:
+            injector.apply_op("terminate", now_s, machine=machine)
+
+    if op.at_s > 0:
+
+        def _deferred():
+            yield testbed.sim.timeout(op.at_s)
+            _down(testbed.sim.now)
+
+        testbed.sim.process(_deferred())
+    else:
+        _down(testbed.sim.now)
+    if duration_s is not None:
+
+        def _recovery():
+            yield testbed.sim.timeout(op.at_s + float(duration_s))
+            for machine in stations:
+                injector.apply_op("reboot", testbed.sim.now, machine=machine)
+
+        testbed.sim.process(_recovery())
+
+
 def _schedule_op(testbed: Celestial, config: Configuration, op: FaultOp) -> Optional[object]:
     """Arm one fault op; returns its stateful interpreter, if any."""
+    if op.kind == "ground-outage":
+        _schedule_ground_outage(testbed, config, op)
+        return None
     if op.kind == "operator-degradation":
         # Late import: repro.scenarios imports the registry from this package.
         from repro.scenarios.degraded import (
@@ -297,6 +369,7 @@ def _run_handover(spec: ExperimentSpec, config: Configuration) -> ExperimentResu
                 "misses": calculation.path_engine.stats.cache_misses,
                 "evictions": calculation.path_engine.stats.cache_evictions,
             },
+            "cache_parameters": calculation.cache_parameters(),
         },
     )
 
@@ -333,21 +406,37 @@ class ExperimentRunner:
     def _run_on_testbed(
         self, spec: ExperimentSpec, config: Configuration
     ) -> ExperimentResult:
+        serve = spec.serve
         testbed = Celestial(
             config,
+            path_sources="all" if (serve is not None and serve.all_pairs) else "ground_stations",
             parallelism=spec.runtime.parallelism,
             worker_count=spec.runtime.workers,
             transport=spec.runtime.transport,
         )
+        gateway = None
         try:
             interpreters: list[object] = []
-            if spec.fault_program:
-                # Arm the program before the workload starts its processes —
-                # the order a user hand-wiring the fault API would use.
+            if spec.fault_program or serve is not None:
+                # Arm faults (and the serving tier) before the workload
+                # starts its processes — the order a user hand-wiring the
+                # fault API and gateway would use.
                 testbed.start()
+            if spec.fault_program:
                 interpreters = schedule_fault_program(
                     testbed, config, spec.fault_program
                 )
+            if serve is not None:
+                from repro.serve.gateway import GatewayServer
+
+                gateway = GatewayServer(
+                    testbed.database,
+                    host=serve.host,
+                    port=serve.port,
+                    queue_limit=serve.queue_limit,
+                    ack_timeout_s=serve.ack_timeout_s,
+                    auth_secret=serve.auth_secret,
+                ).start()
             workload = _TESTBED_WORKLOADS[spec.workload.app]
             title, metrics, series, raw = workload(testbed, config, spec.workload.params)
             return ExperimentResult(
@@ -362,6 +451,9 @@ class ExperimentRunner:
                 resource_traces=testbed.resource_traces(),
                 network_statistics=testbed.network_statistics(),
                 path_statistics=testbed.path_engine_statistics(),
+                serve_statistics=gateway.statistics() if gateway is not None else {},
             )
         finally:
+            if gateway is not None:
+                gateway.stop()
             testbed.close()

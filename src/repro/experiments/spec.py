@@ -142,6 +142,35 @@ class RuntimeSpec:
 
 
 @dataclass(frozen=True)
+class ServeSpec:
+    """The streaming serving tier attached to a run (``[serve]`` table).
+
+    When present, the runner starts a
+    :class:`~repro.serve.gateway.GatewayServer` on the testbed's
+    constellation database for the duration of the run: every published
+    epoch is encoded once through the shared codec and fanned out to all
+    subscribed clients, and path queries are answered from the warm
+    routing tables.  ``all_pairs=True`` widens the path sources so queries
+    between arbitrary machines hit warm tables instead of cold solves.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    queue_limit: int = 64
+    ack_timeout_s: float = 5.0
+    auth_secret: str = ""
+    all_pairs: bool = False
+
+    def __post_init__(self):
+        if self.queue_limit <= 0:
+            raise ExperimentSpecError("serve queue limit must be positive")
+        if self.ack_timeout_s <= 0:
+            raise ExperimentSpecError("serve ack timeout must be positive")
+        if not 0 <= self.port <= 65535:
+            raise ExperimentSpecError("serve port must be within [0, 65535]")
+
+
+@dataclass(frozen=True)
 class MetricsSpec:
     """Which analysis outputs the runner should emit."""
 
@@ -166,6 +195,7 @@ class ExperimentSpec:
     fault_program: tuple[FaultOp, ...] = ()
     runtime: RuntimeSpec = field(default_factory=RuntimeSpec)
     metrics: MetricsSpec = field(default_factory=MetricsSpec)
+    serve: Optional[ServeSpec] = None
 
     def __post_init__(self):
         if not self.name:
@@ -176,6 +206,25 @@ class ExperimentSpec:
     def with_runtime(self, **changes: Any) -> "ExperimentSpec":
         """A copy with runtime fields replaced (CLI override hook)."""
         return replace(self, runtime=replace(self.runtime, **changes))
+
+    def with_serve(self, address: str = "") -> "ExperimentSpec":
+        """A copy with the serving tier attached (CLI ``--serve`` hook).
+
+        ``address`` is ``"host:port"``, ``"host"``, ``":port"`` or empty
+        (bind 127.0.0.1 on an ephemeral port); other serve fields keep the
+        spec's existing ``[serve]`` values, if any.
+        """
+        base = self.serve if self.serve is not None else ServeSpec()
+        host, port = base.host, base.port
+        if address:
+            head, _, tail = address.rpartition(":")
+            if head:
+                host, port = head, int(tail)
+            elif address.startswith(":"):
+                port = int(tail)
+            else:
+                host = tail
+        return replace(self, serve=replace(base, host=host, port=port))
 
     # -- (de)serialisation ---------------------------------------------------
 
@@ -218,6 +267,25 @@ class ExperimentSpec:
             runtime["seed"] = int(self.runtime.seed)
         data["runtime"] = runtime
         data["metrics"] = {"outputs": list(self.metrics.outputs)}
+        if self.serve is not None:
+            # Only non-default fields are emitted (an all-default serving
+            # tier renders as a bare ``[serve]`` table), keeping the
+            # TOML/JSON round-trip byte-stable.
+            serve: dict[str, Any] = {}
+            defaults = ServeSpec()
+            if self.serve.host != defaults.host:
+                serve["host"] = self.serve.host
+            if self.serve.port != defaults.port:
+                serve["port"] = int(self.serve.port)
+            if self.serve.queue_limit != defaults.queue_limit:
+                serve["queue_limit"] = int(self.serve.queue_limit)
+            if self.serve.ack_timeout_s != defaults.ack_timeout_s:
+                serve["ack_timeout_s"] = float(self.serve.ack_timeout_s)
+            if self.serve.auth_secret:
+                serve["auth_secret"] = self.serve.auth_secret
+            if self.serve.all_pairs:
+                serve["all_pairs"] = True
+            data["serve"] = serve
         return data
 
     @classmethod
@@ -255,6 +323,17 @@ class ExperimentSpec:
             )
             metrics_data = data.get("metrics", {})
             metrics = MetricsSpec(outputs=tuple(metrics_data.get("outputs", ("summary",))))
+            serve: Optional[ServeSpec] = None
+            if "serve" in data:
+                serve_data = data["serve"]
+                serve = ServeSpec(
+                    host=serve_data.get("host", "127.0.0.1"),
+                    port=int(serve_data.get("port", 0)),
+                    queue_limit=int(serve_data.get("queue_limit", 64)),
+                    ack_timeout_s=float(serve_data.get("ack_timeout_s", 5.0)),
+                    auth_secret=serve_data.get("auth_secret", ""),
+                    all_pairs=bool(serve_data.get("all_pairs", False)),
+                )
             return cls(
                 name=data["name"],
                 scenario=scenario,
@@ -262,6 +341,7 @@ class ExperimentSpec:
                 fault_program=fault_program,
                 runtime=runtime,
                 metrics=metrics,
+                serve=serve,
             )
         except (KeyError, TypeError) as error:
             raise ExperimentSpecError(f"invalid experiment spec: {error}") from error
@@ -291,6 +371,8 @@ class ExperimentSpec:
             lines.append("")
         _emit_table(lines, "runtime", data["runtime"])
         _emit_table(lines, "metrics", data["metrics"])
+        if "serve" in data:
+            _emit_table(lines, "serve", data["serve"])
         while lines and lines[-1] == "":
             lines.pop()
         return "\n".join(lines) + "\n"

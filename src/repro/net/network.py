@@ -69,6 +69,7 @@ class VirtualNetwork:
         self._link_epoch: dict[tuple[str, str], int] = {}
         self._epoch = 0
         self._loss_overrides: dict[tuple[str, str], float] = {}
+        self._bandwidth_caps: dict[tuple[str, str], float] = {}
         self._endpoints: dict[str, "Store"] = {}
         self.messages_sent = 0
         self.messages_delivered = 0
@@ -109,6 +110,35 @@ class VirtualNetwork:
         self._loss_overrides.pop((source.name, destination.name), None)
         self._links.pop((source.name, destination.name), None)
 
+    def set_bandwidth_cap(
+        self, source: MachineId, destination: MachineId, bandwidth_kbps: float
+    ) -> None:
+        """Cap one directed pair's bandwidth (fault injection).
+
+        The effective bandwidth is the minimum of the cap and whatever the
+        constellation rule provides, so the cap degrades a link without
+        ever improving it; it survives epoch updates until cleared.
+        """
+        if bandwidth_kbps <= 0:
+            raise ValueError("bandwidth cap must be positive")
+        self._bandwidth_caps[(source.name, destination.name)] = bandwidth_kbps
+        self._links.pop((source.name, destination.name), None)
+
+    def clear_bandwidth_cap(self, source: MachineId, destination: MachineId) -> None:
+        """Remove a previously-set bandwidth cap."""
+        self._bandwidth_caps.pop((source.name, destination.name), None)
+        self._links.pop((source.name, destination.name), None)
+
+    def _effective_bandwidth(
+        self, key: tuple[str, str], rule: PairRule
+    ) -> Optional[float]:
+        cap = self._bandwidth_caps.get(key)
+        if cap is None:
+            return rule.bandwidth_kbps
+        if rule.bandwidth_kbps is None:
+            return cap
+        return min(cap, rule.bandwidth_kbps)
+
     def _link_for(self, source: MachineId, destination: MachineId) -> EmulatedLink:
         key = (source.name, destination.name)
         rule = self._rule_provider(source, destination)
@@ -120,7 +150,11 @@ class VirtualNetwork:
                 distribution="normal" if self._base_jitter_ms > 0 else "none",
                 loss_probability=loss,
             )
-            link = EmulatedLink(netem_rule, bandwidth_kbps=rule.bandwidth_kbps, rng=self._rng)
+            link = EmulatedLink(
+                netem_rule,
+                bandwidth_kbps=self._effective_bandwidth(key, rule),
+                rng=self._rng,
+            )
             if not rule.reachable:
                 link.block()
             self._links[key] = link
@@ -129,7 +163,7 @@ class VirtualNetwork:
         link = self._links[key]
         if self._link_epoch[key] != self._epoch:
             if rule.reachable:
-                link.update(rule.delay_ms, rule.bandwidth_kbps)
+                link.update(rule.delay_ms, self._effective_bandwidth(key, rule))
             else:
                 link.block()
             self._link_epoch[key] = self._epoch

@@ -1,0 +1,50 @@
+"""The streaming serving tier: one state-distribution path for all consumers.
+
+Celestial's constellation state historically reached its consumers over
+three disjoint encodings — binary worker frames, ad-hoc info-API JSON and
+analysis result dumps.  This package unifies them behind a single seam:
+
+* :mod:`repro.serve.codec` — the shared :class:`EpochUpdate` codec.  Each
+  epoch's keyframe/diff is encoded exactly once into the versioned
+  :mod:`repro.dist.wire` frame format; the info API's ``/diffs`` JSON and
+  the analysis bundle render *views* of the same encoded bytes.
+* :mod:`repro.serve.gateway` — the asyncio :class:`StreamGateway`, fanning
+  the shared bytes out to thousands of subscribers with bounded per-client
+  queues, backpressure and slow-client keyframe resync, and answering
+  path-latency queries from the warm path-table set.
+* :mod:`repro.serve.client` — the blocking :class:`SubscriptionClient`
+  used by tests, examples and external consumers.
+"""
+
+from repro.serve.codec import (
+    CodecError,
+    EpochReplica,
+    EpochSnapshot,
+    EpochUpdate,
+    EpochUpdateCodec,
+)
+
+__all__ = [
+    "CodecError",
+    "EpochReplica",
+    "EpochSnapshot",
+    "EpochUpdate",
+    "EpochUpdateCodec",
+    "StreamGateway",
+    "GatewayServer",
+    "SubscriptionClient",
+]
+
+
+def __getattr__(name):
+    # Gateway/client import asyncio + transport machinery; load lazily so
+    # the codec stays importable from the database without dragging them in.
+    if name in ("StreamGateway", "GatewayServer"):
+        from repro.serve import gateway
+
+        return getattr(gateway, name)
+    if name == "SubscriptionClient":
+        from repro.serve import client
+
+        return getattr(client, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

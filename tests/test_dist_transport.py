@@ -304,6 +304,66 @@ class TestHandshake:
             listener.close()
 
 
+class TestAuthHandshake:
+    def test_matching_secret_receives_spec(self):
+        listener = SocketListener(worker_index=2, auth_secret="orbital")
+        result = {}
+
+        def dial():
+            spec, transport = connect_transport(
+                "127.0.0.1",
+                listener.port,
+                2,
+                timeout_s=5.0,
+                auth_secret="orbital",
+            )
+            result["spec"] = spec
+            transport.close()
+
+        thread = threading.Thread(target=dial)
+        thread.start()
+        try:
+            server_side = listener.accept(5.0)
+            server_side.send_bytes(
+                wire.encode_frame(FrameKind.SPEC, {"spec": _spec(worker_index=2)})
+            )
+            thread.join(timeout=5.0)
+            assert result["spec"] == _spec(worker_index=2)
+            server_side.close()
+        finally:
+            thread.join(timeout=5.0)
+            listener.close()
+
+    def test_mismatched_secret_is_rejected_before_the_spec_flows(self):
+        listener = SocketListener(worker_index=2, auth_secret="orbital")
+        outcomes = []
+
+        def dial():
+            try:
+                connect_transport(
+                    "127.0.0.1",
+                    listener.port,
+                    2,
+                    timeout_s=2.0,
+                    auth_secret="wrong",
+                )
+            except (EOFError, OSError, TransportError) as error:
+                outcomes.append(error)
+
+        thread = threading.Thread(target=dial)
+        thread.start()
+        try:
+            # The impostor never passes the challenge, so no transport is
+            # ever handed to the supervisor — and no SPEC frame is sent.
+            with pytest.raises(TransportTimeout):
+                listener.accept(1.0)
+            thread.join(timeout=5.0)
+            assert len(outcomes) == 1
+        finally:
+            thread.join(timeout=5.0)
+            listener.close()
+
+
 class TestFactories:
     def test_factory_resolution(self):
         assert isinstance(make_transport_factory("pipe"), PipeTransportFactory)

@@ -1,0 +1,204 @@
+"""Tests for the shared epoch-update codec of the serving tier.
+
+The acceptance property: a client that applies the keyframe+diff stream
+through an :class:`EpochReplica` reconstructs the streamed state
+projection **bit-for-bit** at every epoch, across at least 20 epochs, for
+both an Iridium-style and a Starlink-style constellation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ComputeParams,
+    Configuration,
+    ConstellationCalculation,
+    ConstellationDatabase,
+    GroundStationConfig,
+    NetworkParams,
+    ShellConfig,
+)
+from repro.dist.wire import FrameKind
+from repro.orbits import GroundStation, ShellGeometry
+from repro.scenarios import west_africa_configuration
+from repro.serve import EpochReplica, EpochSnapshot, EpochUpdateCodec
+from repro.serve.codec import CodecError, encode_skip_update
+
+
+def iridium_configuration() -> Configuration:
+    return Configuration(
+        shells=(
+            ShellConfig(
+                name="iridium",
+                geometry=ShellGeometry(6, 11, 780.0, 90.0, 180.0),
+                network=NetworkParams(min_elevation_deg=8.2),
+                compute=ComputeParams(vcpu_count=1, memory_mib=1024),
+            ),
+        ),
+        ground_stations=(
+            GroundStationConfig(station=GroundStation("hawaii", 21.3, -157.9)),
+            GroundStationConfig(station=GroundStation("buoy-0", 10.0, -160.0)),
+        ),
+        update_interval_s=5.0,
+    )
+
+
+def advance(calculation, database, previous, now_s):
+    """One coordinator-style epoch publication (diff path)."""
+    state, diff = calculation.diff_since(previous, now_s)
+    database.set_state(state, diff=diff)
+    return state, diff
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize(
+        "config_factory,epochs,step_s",
+        [
+            pytest.param(iridium_configuration, 24, 30.0, id="iridium"),
+            pytest.param(
+                lambda: west_africa_configuration(duration_s=120.0, shells="lowest"),
+                21,
+                4.0,
+                id="starlink-lowest-shell",
+            ),
+        ],
+    )
+    def test_replica_reconstructs_every_epoch_bit_for_bit(
+        self, config_factory, epochs, step_s
+    ):
+        config = config_factory()
+        calculation = ConstellationCalculation(config)
+        database = ConstellationDatabase(keyframe_interval=7)
+        state = calculation.state_at(0.0)
+        database.set_state(state)
+
+        replica = EpochReplica()
+        replica.apply(database.codec.keyframe_update(database.epoch, state=state))
+        assert replica.snapshot().same_bits(
+            EpochSnapshot.from_state(state, database.epoch)
+        )
+
+        for step in range(1, epochs):
+            state, diff = advance(calculation, database, state, step * step_s)
+            replica.apply(database.codec.diff_update(database.epoch, diff=diff))
+            assert replica.snapshot().same_bits(
+                EpochSnapshot.from_state(state, database.epoch)
+            ), f"replica diverged at epoch {database.epoch}"
+        assert replica.applied_diffs == epochs - 1
+        # Single-encode guarantee: one encode per epoch, however often the
+        # cached updates are re-requested.
+        database.codec.diff_update(database.epoch)
+        assert database.codec.encode_count == epochs
+
+    def test_snapshot_differs_when_state_differs(self):
+        config = iridium_configuration()
+        calculation = ConstellationCalculation(config)
+        first = EpochSnapshot.from_state(calculation.state_at(0.0), 1)
+        second = EpochSnapshot.from_state(calculation.state_at(120.0), 1)
+        assert first.same_bits(first)
+        assert not first.same_bits(second)
+
+
+class TestReplicaChaining:
+    def test_diff_before_keyframe_rejected(self):
+        config = iridium_configuration()
+        calculation = ConstellationCalculation(config)
+        database = ConstellationDatabase()
+        state = calculation.state_at(0.0)
+        database.set_state(state)
+        _, diff = advance(calculation, database, state, 30.0)
+        update = database.codec.diff_update(2, diff=diff)
+        with pytest.raises(CodecError, match="KEYFRAME"):
+            EpochReplica().apply(update)
+
+    def test_gapped_diff_rejected_until_keyframe_resync(self):
+        config = iridium_configuration()
+        calculation = ConstellationCalculation(config)
+        database = ConstellationDatabase(keyframe_interval=2)
+        state = calculation.state_at(0.0)
+        database.set_state(state)
+        replica = EpochReplica()
+        replica.apply(database.codec.keyframe_update(1, state=state))
+        diffs = []
+        for step in range(1, 5):
+            state, diff = advance(calculation, database, state, step * 30.0)
+            diffs.append(database.codec.diff_update(database.epoch, diff=diff))
+        replica.apply(diffs[0])  # epoch 2 chains
+        with pytest.raises(CodecError, match="does not chain"):
+            replica.apply(diffs[2])  # epoch 4 does not
+        # Eviction protocol: a keyframe resets the replica, diffs resume.
+        replica.apply(database.codec.keyframe_update(database.epoch, state=state))
+        assert replica.snapshot().same_bits(
+            EpochSnapshot.from_state(state, database.epoch)
+        )
+
+    def test_skip_marker_advances_the_chain_without_changes(self):
+        config = iridium_configuration()
+        calculation = ConstellationCalculation(config)
+        database = ConstellationDatabase()
+        state = calculation.state_at(0.0)
+        database.set_state(state)
+        replica = EpochReplica()
+        replica.apply(database.codec.keyframe_update(1, state=state))
+        before = replica.snapshot()
+        _, diff = advance(calculation, database, state, 30.0)
+        from repro.serve.codec import EpochUpdate
+
+        skip = EpochUpdate(FrameKind.DIFF, 2, encode_skip_update(diff, 2))
+        meta, _arrays = skip.decoded()
+        assert meta["skip"] is True
+        replica.apply(skip)
+        after = replica.snapshot()
+        assert after.epoch == 2 and after.time_s == diff.time_s
+        assert after.node_a.tobytes() == before.node_a.tobytes()
+        assert after.delay_ms.tobytes() == before.delay_ms.tobytes()
+
+
+class TestCodecCacheAndViews:
+    def test_json_record_matches_info_api_history(self):
+        """`/diffs/<epoch>` must be a view of the same encoded update."""
+        config = iridium_configuration()
+        calculation = ConstellationCalculation(config)
+        database = ConstellationDatabase(keyframe_interval=4)
+        state = calculation.state_at(0.0)
+        database.set_state(state)
+        for step in range(1, 6):
+            state, _ = advance(calculation, database, state, step * 30.0)
+        history = database.diff_history_info(1)
+        assert [r["epoch"] for r in history["diffs"]] == [2, 3, 4, 5, 6]
+        for offset, record in enumerate(history["diffs"]):
+            again = database.codec.diff_update(2 + offset).json_record()
+            assert record == again
+
+    def test_prune_tracks_database_history(self):
+        config = iridium_configuration()
+        calculation = ConstellationCalculation(config)
+        database = ConstellationDatabase(keyframe_interval=2, retained_keyframes=2)
+        state = calculation.state_at(0.0)
+        database.set_state(state)
+        for step in range(1, 9):
+            state, diff = advance(calculation, database, state, step * 30.0)
+            database.codec.diff_update(database.epoch, diff=diff)
+        oldest = min(database.keyframe_epochs())
+        assert all(epoch > oldest for epoch in database.codec._diffs)
+        assert all(epoch >= oldest for epoch in database.codec._keyframes)
+        # Pruned epochs are no longer servable from history.
+        with pytest.raises(KeyError):
+            database.codec.diff_update(2)
+
+    def test_codec_is_owned_by_the_database(self):
+        database = ConstellationDatabase()
+        assert isinstance(database.codec, EpochUpdateCodec)
+        assert database.codec.encode_count == 0
+
+
+class TestScientificSanity:
+    def test_streamed_delays_are_physical(self):
+        config = iridium_configuration()
+        calculation = ConstellationCalculation(config)
+        snapshot = EpochSnapshot.from_state(calculation.state_at(0.0), 1)
+        assert snapshot.node_a.shape == snapshot.node_b.shape
+        assert np.all(snapshot.node_a < snapshot.node_b)
+        assert np.all(snapshot.delay_ms > 0)
+        # ISL delays are bounded by a bent-pipe worst case of a few 100 ms.
+        assert np.all(snapshot.delay_ms < 1000.0)

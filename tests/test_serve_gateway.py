@@ -1,0 +1,286 @@
+"""End-to-end tests of the streaming gateway over real sockets.
+
+Covers the serving-tier contract: shared-bytes fan-out with bit-exact
+client reconstruction, slow-client eviction with keyframe resync, scoped
+subscriptions (bounding box and ground-station view) that keep the epoch
+chain unbroken via skip markers, the shared-secret subscription handshake
+and warm-table path queries with per-client cache attribution — plus the
+database staying torn-read-free under concurrent info-API readers.
+"""
+
+import threading
+
+import pytest
+
+from repro.core import (
+    ComputeParams,
+    Configuration,
+    ConstellationCalculation,
+    ConstellationDatabase,
+    GroundStationConfig,
+    InfoAPI,
+    InfoAPIError,
+    NetworkParams,
+    ShellConfig,
+)
+from repro.orbits import GroundStation, ShellGeometry
+from repro.serve import EpochSnapshot
+from repro.serve.client import SubscriptionClient, SubscriptionError
+from repro.serve.gateway import GatewayServer
+
+
+def iridium_configuration() -> Configuration:
+    return Configuration(
+        shells=(
+            ShellConfig(
+                name="iridium",
+                geometry=ShellGeometry(6, 11, 780.0, 90.0, 180.0),
+                network=NetworkParams(min_elevation_deg=8.2),
+                compute=ComputeParams(vcpu_count=1, memory_mib=1024),
+            ),
+        ),
+        ground_stations=(
+            GroundStationConfig(station=GroundStation("hawaii", 21.3, -157.9)),
+            GroundStationConfig(station=GroundStation("buoy-0", 10.0, -160.0)),
+        ),
+        update_interval_s=5.0,
+    )
+
+
+@pytest.fixture()
+def testbed_core():
+    """Calculation + database seeded with epoch 1."""
+    config = iridium_configuration()
+    calculation = ConstellationCalculation(config)
+    database = ConstellationDatabase(keyframe_interval=5)
+    state = calculation.state_at(0.0)
+    database.set_state(state)
+    return config, calculation, database, state
+
+
+def advance(calculation, database, previous, now_s):
+    state, diff = calculation.diff_since(previous, now_s)
+    database.set_state(state, diff=diff)
+    return state
+
+
+class TestStreaming:
+    def test_fanout_is_bit_exact_and_single_encode(self, testbed_core):
+        _, calculation, database, state = testbed_core
+        epochs = 8
+        with GatewayServer(database) as server:
+            host, port = server.address
+            clients = [
+                SubscriptionClient(host, port, client_id=f"sub-{i}")
+                for i in range(3)
+            ]
+            try:
+                for client in clients:
+                    assert client.server_epoch == 1
+                    client.sync_to_epoch(1)  # the seeded keyframe
+                for step in range(1, epochs):
+                    state = advance(calculation, database, state, step * 30.0)
+                final_epoch = database.epoch
+                for client in clients:
+                    client.sync_to_epoch(final_epoch)
+                    assert client.replica.snapshot().same_bits(
+                        EpochSnapshot.from_state(state, final_epoch)
+                    )
+                    assert client.replica.applied_keyframes == 1
+                stats = server.statistics()
+            finally:
+                for client in clients:
+                    client.close()
+        # One keyframe + one diff per published epoch, shared by 3 clients.
+        assert stats["encode_count"] == epochs
+        assert stats["published_epochs"] == epochs - 1
+        assert stats["subscriptions"] == 3
+
+    def test_slow_client_is_evicted_and_resyncs_bit_for_bit(self, testbed_core):
+        _, calculation, database, state_a = testbed_core
+        # Two alternating precomputed states let the publisher flood
+        # thousands of cheap epochs until the subscriber's bounded queue
+        # provably overflowed.
+        state_b, diff_ab = calculation.diff_since(state_a, 30.0)
+        state_a2, diff_ba = calculation.diff_since(state_b, 0.0)
+        with GatewayServer(database, queue_limit=4) as server:
+            host, port = server.address
+            client = SubscriptionClient(host, port, client_id="slow")
+            try:
+                # Consume the seeded keyframe first so the resync keyframe
+                # below is provably a *second* applied keyframe (otherwise
+                # an eviction may drop the seed before it is ever written).
+                client.sync_to_epoch(1)
+                assert client.replica.applied_keyframes == 1
+                evictions = 0
+                for round_index in range(40):
+                    for _ in range(50):
+                        if database.epoch % 2 == 1:
+                            database.set_state(state_b, diff=diff_ab)
+                        else:
+                            database.set_state(state_a2, diff=diff_ba)
+                    evictions = server.statistics()["evictions"]
+                    if evictions:
+                        break
+                assert evictions >= 1, "queue never overflowed; grow the flood"
+                final_epoch = database.epoch
+                final_state = state_a2 if final_epoch % 2 == 1 else state_b
+                client.sync_to_epoch(final_epoch)
+                assert client.replica.snapshot().same_bits(
+                    EpochSnapshot.from_state(final_state, final_epoch)
+                )
+                # The resync keyframe(s) actually reached the replica.
+                assert client.replica.applied_keyframes >= 2
+            finally:
+                client.close()
+
+
+class TestScopedSubscriptions:
+    def test_bbox_scope_receives_skip_markers_and_stays_chained(self, testbed_core):
+        _, calculation, database, state = testbed_core
+        scope = {
+            "kind": "bbox",
+            "lat_min": -2.0,
+            "lat_max": 2.0,
+            "lon_min": 0.0,
+            "lon_max": 4.0,
+        }
+        with GatewayServer(database) as server:
+            host, port = server.address
+            with SubscriptionClient(host, port, client_id="boxed", scope=scope) as client:
+                client.sync_to_epoch(1)
+                for step in range(1, 7):
+                    state = advance(calculation, database, state, step * 30.0)
+                updates = client.sync_to_epoch(database.epoch)
+                skip_count = sum(
+                    1 for u in updates if u.decoded()[0].get("skip")
+                )
+                stats = server.statistics()["clients"]["boxed"]
+                assert stats["skipped"] == skip_count
+                # Every epoch reached the client, in-scope or not.
+                assert client.replica.epoch == database.epoch
+                assert client.replica.time_s == state.time_s
+
+    def test_gst_scope_delivers_epochs_touching_the_station(self, testbed_core):
+        _, calculation, database, state = testbed_core
+        with GatewayServer(database) as server:
+            host, port = server.address
+            scope = {"kind": "gst", "name": "hawaii"}
+            with SubscriptionClient(host, port, client_id="gst", scope=scope) as client:
+                client.sync_to_epoch(1)
+                for step in range(1, 7):
+                    state = advance(calculation, database, state, step * 30.0)
+                updates = client.sync_to_epoch(database.epoch)
+                assert client.replica.epoch == database.epoch
+                # Full diffs and skip markers partition the epoch stream.
+                full = [u for u in updates if not u.decoded()[0].get("skip")]
+                stats = server.statistics()["clients"]["gst"]
+                assert stats["skipped"] == len(updates) - len(full)
+
+
+class TestAuth:
+    def test_matching_secret_subscribes(self, testbed_core):
+        _, _, database, _ = testbed_core
+        with GatewayServer(database, auth_secret="orbital") as server:
+            host, port = server.address
+            with SubscriptionClient(
+                host, port, client_id="trusted", auth_secret="orbital"
+            ) as client:
+                assert client.client_id == "trusted"
+                client.sync_to_epoch(1)
+            assert server.statistics()["rejected_subscriptions"] == 0
+
+    def test_wrong_secret_is_rejected_before_any_state_flows(self, testbed_core):
+        _, _, database, _ = testbed_core
+        with GatewayServer(database, auth_secret="orbital") as server:
+            host, port = server.address
+            with pytest.raises(SubscriptionError):
+                SubscriptionClient(
+                    host, port, client_id="mallory", auth_secret="wrong", timeout_s=5.0
+                )
+            stats = server.statistics()
+            assert stats["rejected_subscriptions"] == 1
+            assert stats["subscriptions"] == 0
+
+
+class TestQueries:
+    def test_path_queries_answered_from_warm_tables(self, testbed_core):
+        _, calculation, database, state = testbed_core
+        with GatewayServer(database) as server:
+            host, port = server.address
+            with SubscriptionClient(host, port, client_id="asker") as client:
+                result = client.query("hawaii", "buoy-0")
+                assert result["client"] == "asker"
+                assert result["reachable"] is True
+                assert result["delay_ms"] > 0
+                assert result["rtt_ms"] == pytest.approx(2 * result["delay_ms"])
+                # Satellite addressing, DNS form included.
+                by_sat = client.query("hawaii", "0.0.celestial")
+                assert by_sat["destination"] == "0.0.celestial"
+                bogus = client.query("hawaii", "atlantis")
+                assert "error" in bogus
+                stats = server.statistics()["clients"]["asker"]
+                assert stats["queries"] == 3
+
+    def test_queries_interleave_with_stream_updates(self, testbed_core):
+        _, calculation, database, state = testbed_core
+        with GatewayServer(database) as server:
+            host, port = server.address
+            with SubscriptionClient(host, port, client_id="mixed") as client:
+                for step in range(1, 4):
+                    state = advance(calculation, database, state, step * 30.0)
+                result = client.query("hawaii", "buoy-0")
+                assert result["reachable"] is True
+                client.sync_to_epoch(database.epoch)
+                assert client.replica.snapshot().same_bits(
+                    EpochSnapshot.from_state(state, database.epoch)
+                )
+
+
+class TestConcurrentInfoReaders:
+    def test_no_torn_diff_reads_while_epochs_advance(self, testbed_core):
+        config, calculation, database, state = testbed_core
+        api = InfoAPI(database, calculation)
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def reader():
+            while not stop.is_set():
+                epochs = database.keyframe_epochs()
+                if epochs != sorted(epochs):
+                    failures.append(f"unsorted keyframes {epochs}")
+                    return
+                try:
+                    history = api.get(f"/diffs/{min(epochs)}")
+                except InfoAPIError as error:
+                    # The keyframe we picked can be pruned between the two
+                    # calls; the API answers with the resync protocol, not
+                    # a torn read.  Retry from a fresh keyframe.
+                    if "resynchronise" in str(error):
+                        continue
+                    failures.append(str(error))
+                    return
+                records = history["diffs"]
+                got = [r["epoch"] for r in records]
+                want = list(
+                    range(history["since_epoch"] + 1, history["epoch"] + 1)
+                )
+                if got != want:
+                    failures.append(f"torn history: {got} != {want}")
+                    return
+                for record in records:
+                    if record["summary"]["links_added"] != len(record["links_added"]):
+                        failures.append("record inconsistent with its summary")
+                        return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for step in range(1, 40):
+                state = advance(calculation, database, state, step * 15.0)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10.0)
+        assert not failures, failures[0]
