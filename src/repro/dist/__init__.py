@@ -85,18 +85,22 @@ from repro.dist.transport import (
     make_transport_factory,
 )
 from repro.dist.wire import (
+    FLAG_PICKLED,
     WIRE_VERSION,
     FrameKind,
     WireError,
     WireVersionError,
+    decode_blob,
     decode_frame,
     decode_slice,
+    encode_blob,
     encode_frame,
     encode_slice,
 )
 from repro.dist.worker import WorkerSpec, worker_main
 
 __all__ = [
+    "FLAG_PICKLED",
     "FanoutBackend",
     "FrameKind",
     "MirroredManager",
@@ -120,8 +124,10 @@ __all__ = [
     "WorkerSupervisor",
     "WorkerTimeoutError",
     "connect_transport",
+    "decode_blob",
     "decode_frame",
     "decode_slice",
+    "encode_blob",
     "encode_frame",
     "encode_slice",
     "make_transport_factory",

@@ -514,7 +514,8 @@ class WorkerSupervisor:
             for position in positions:
                 skip |= self._dirty_resolver(position)
         for _seq, frame, _sent_at in handle.inflight:
-            kind, frame_meta, _arrays = wire.decode_frame(frame)
+            # allow_pickle: these are bytes this very process encoded.
+            kind, frame_meta, _arrays = wire.decode_frame(frame, allow_pickle=True)
             if kind is FrameKind.APPLY_SLICE:
                 skip |= set(frame_meta["dirty_active"])
         epochs = checkpoint.get("epochs", {})

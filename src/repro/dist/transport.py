@@ -329,7 +329,10 @@ def connect_transport(
             wire.encode_frame(FrameKind.HELLO, {"worker_index": worker_index})
         )
         data = transport.recv_bytes(timeout=max(0.05, deadline - time.monotonic()))
-        kind, meta, _arrays = wire.decode_frame(data)
+        # allow_pickle: the SPEC frame carries the rich WorkerSpec blueprint,
+        # and this side *dialed* the operator-configured supervisor address —
+        # the trusted direction of the handshake.
+        kind, meta, _arrays = wire.decode_frame(data, allow_pickle=True)
         if kind is FrameKind.CHALLENGE:
             answer_challenge(
                 transport, meta, auth_secret, f"worker-{worker_index}"
@@ -337,7 +340,7 @@ def connect_transport(
             data = transport.recv_bytes(
                 timeout=max(0.05, deadline - time.monotonic())
             )
-            kind, meta, _arrays = wire.decode_frame(data)
+            kind, meta, _arrays = wire.decode_frame(data, allow_pickle=True)
         if kind is not FrameKind.SPEC:
             raise HandshakeError(
                 f"expected a SPEC frame after HELLO, got {kind.name}"

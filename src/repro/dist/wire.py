@@ -29,11 +29,22 @@ sliced: the dtype string must name a real, fixed-size, object-free dtype and
 every shape dimension must be a non-negative integer, so a corrupt or forged
 descriptor (e.g. a negative dimension that would make ``nbytes`` negative
 and defeat the bounds check) raises :class:`WireError` instead of producing
-a nonsense array view.  The metadata blob itself uses pickle protocol 5 — it
-only ever crosses a pipe (or, with the TCP transport, a socket) between a
-coordinator and workers started by the same operator, never an untrusted
-boundary; the descriptor validation is corruption hardening, not a security
-boundary.
+a nonsense array view.
+
+The metadata blob is a *security boundary*: frames arrive from network
+peers that have not authenticated yet (the worker listener's ``HELLO``,
+the streaming gateway's ``SUBSCRIBE``), so the blob must never be able to
+execute code on decode.  It therefore uses a closed, self-describing
+binary encoding (:func:`encode_blob` / :func:`decode_blob`) restricted to
+``None``/bool/int/float/str/bytes/list/tuple/dict — no object
+construction, no imports, no callables.  The one payload that genuinely
+carries rich Python objects — the worker blueprint in ``SPEC`` frames and
+the kernel/rootfs dataclasses of ``CREATE_MACHINE`` — falls back to
+pickle protocol 5 and is *flagged* in the frame header
+(:data:`FLAG_PICKLED`); :func:`decode_frame` refuses such frames unless
+the caller passes ``allow_pickle=True``, which only the worker side of an
+operator-configured supervisor channel does.  An unauthenticated dialer
+can thus never reach ``pickle.loads``.
 
 Payload codecs
 --------------
@@ -64,7 +75,14 @@ from repro.core.machine_manager import HostStateSlice
 #: Frame magic: "CeLestial Wire".
 WIRE_MAGIC = b"CLW1"
 #: Protocol generation.  Bump on any incompatible frame/codec change.
-WIRE_VERSION = 1
+#: Version 2: the metadata blob moved from pickle to the safe blob codec
+#: (pickle remains only as the header-flagged fallback for rich payloads).
+WIRE_VERSION = 2
+
+#: Header flag: the metadata blob is pickled, not safe-blob-encoded.  Only
+#: set by :func:`encode_frame` when the metadata holds objects outside the
+#: safe codec's closed type set; decoding requires ``allow_pickle=True``.
+FLAG_PICKLED = 0x01
 
 _HEADER = struct.Struct("<4sHBBII")
 
@@ -75,6 +93,161 @@ class WireError(ValueError):
 
 class WireVersionError(WireError):
     """Raised when a frame was produced by an incompatible protocol version."""
+
+
+# -- safe metadata-blob codec -------------------------------------------------
+#
+# A tiny tag-length-value encoding over a closed type set.  Unlike pickle
+# it can only ever *construct data* — decoding allocates containers and
+# scalars, never looks up classes or calls anything — so it is safe to run
+# on bytes from an unauthenticated network peer.
+
+_U32 = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+
+#: Maximum container nesting in a metadata blob.  Deep enough for every
+#: real payload (slice metas nest 3 levels), shallow enough that a forged
+#: blob cannot drive the recursive decoder into a RecursionError.
+_BLOB_MAX_DEPTH = 32
+
+
+def encode_blob(obj: Any) -> bytes:
+    """Encode one metadata object with the safe blob codec.
+
+    Supports ``None``, bool, int (arbitrary precision), float, str, bytes,
+    list, tuple and dict (NumPy scalars are coerced to their Python
+    equivalents).  Raises :class:`TypeError` for anything else — the
+    caller (:func:`encode_frame`) then falls back to flagged pickle.
+    """
+    out: list[bytes] = []
+    _encode_obj(obj, out, 0)
+    return b"".join(out)
+
+
+def _encode_obj(obj: Any, out: list[bytes], depth: int) -> None:
+    if depth > _BLOB_MAX_DEPTH:
+        raise TypeError("metadata blob nests too deeply for the safe codec")
+    if obj is None:
+        out.append(b"N")
+    elif isinstance(obj, (bool, np.bool_)):
+        out.append(b"T" if obj else b"F")
+    elif isinstance(obj, (int, np.integer)):
+        value = int(obj)
+        if -(1 << 63) <= value < (1 << 63):
+            out.append(b"i")
+            out.append(_I64.pack(value))
+        else:
+            # Arbitrary-precision escape hatch: RNG-state checkpoints carry
+            # 128-bit PCG64 state integers through acknowledgement metas.
+            magnitude = abs(value)
+            raw = magnitude.to_bytes((magnitude.bit_length() + 7) // 8, "little")
+            out.append(b"I" + (b"\x01" if value < 0 else b"\x00"))
+            out.append(_U32.pack(len(raw)))
+            out.append(raw)
+    elif isinstance(obj, (float, np.floating)):
+        out.append(b"f")
+        out.append(_F64.pack(float(obj)))
+    elif isinstance(obj, str):
+        raw = obj.encode("utf-8", "surrogatepass")
+        out.append(b"s")
+        out.append(_U32.pack(len(raw)))
+        out.append(raw)
+    elif isinstance(obj, (bytes, bytearray)):
+        out.append(b"b")
+        out.append(_U32.pack(len(obj)))
+        out.append(bytes(obj))
+    elif isinstance(obj, (list, tuple)):
+        out.append(b"l" if isinstance(obj, list) else b"t")
+        out.append(_U32.pack(len(obj)))
+        for item in obj:
+            _encode_obj(item, out, depth + 1)
+    elif isinstance(obj, dict):
+        out.append(b"d")
+        out.append(_U32.pack(len(obj)))
+        for key, value in obj.items():
+            _encode_obj(key, out, depth + 1)
+            _encode_obj(value, out, depth + 1)
+    else:
+        raise TypeError(
+            f"{type(obj).__name__} cannot travel in a safe metadata blob"
+        )
+
+
+def decode_blob(data: bytes) -> Any:
+    """Decode one safe-codec metadata blob; :class:`WireError` on corruption."""
+    obj, offset = _decode_obj(data, 0, 0)
+    if offset != len(data):
+        raise WireError(f"{len(data) - offset} trailing bytes in metadata blob")
+    return obj
+
+
+def _blob_slice(data: bytes, offset: int, count: int) -> bytes:
+    if len(data) - offset < count:
+        raise WireError("metadata blob truncated")
+    return data[offset : offset + count]
+
+
+def _decode_obj(data: bytes, offset: int, depth: int) -> tuple[Any, int]:
+    if depth > _BLOB_MAX_DEPTH:
+        raise WireError("metadata blob nests too deeply")
+    tag = _blob_slice(data, offset, 1)
+    offset += 1
+    if tag == b"N":
+        return None, offset
+    if tag == b"T":
+        return True, offset
+    if tag == b"F":
+        return False, offset
+    if tag == b"i":
+        (value,) = _I64.unpack(_blob_slice(data, offset, 8))
+        return value, offset + 8
+    if tag == b"I":
+        sign = _blob_slice(data, offset, 1)
+        (length,) = _U32.unpack(_blob_slice(data, offset + 1, 4))
+        raw = _blob_slice(data, offset + 5, length)
+        value = int.from_bytes(raw, "little")
+        return (-value if sign == b"\x01" else value), offset + 5 + length
+    if tag == b"f":
+        (value,) = _F64.unpack(_blob_slice(data, offset, 8))
+        return value, offset + 8
+    if tag in (b"s", b"b"):
+        (length,) = _U32.unpack(_blob_slice(data, offset, 4))
+        raw = _blob_slice(data, offset + 4, length)
+        offset += 4 + length
+        if tag == b"b":
+            return raw, offset
+        try:
+            return raw.decode("utf-8", "surrogatepass"), offset
+        except UnicodeDecodeError as error:
+            raise WireError(f"undecodable string in metadata blob: {error}") from error
+    if tag in (b"l", b"t"):
+        (count,) = _U32.unpack(_blob_slice(data, offset, 4))
+        offset += 4
+        if count > len(data) - offset:  # every element costs >= 1 byte
+            raise WireError("metadata blob truncated inside a sequence")
+        items = []
+        for _ in range(count):
+            item, offset = _decode_obj(data, offset, depth + 1)
+            items.append(item)
+        return (items if tag == b"l" else tuple(items)), offset
+    if tag == b"d":
+        (count,) = _U32.unpack(_blob_slice(data, offset, 4))
+        offset += 4
+        if 2 * count > len(data) - offset:
+            raise WireError("metadata blob truncated inside a mapping")
+        mapping = {}
+        for _ in range(count):
+            key, offset = _decode_obj(data, offset, depth + 1)
+            value, offset = _decode_obj(data, offset, depth + 1)
+            try:
+                mapping[key] = value
+            except TypeError as error:
+                raise WireError(
+                    f"unhashable mapping key in metadata blob: {error}"
+                ) from error
+        return mapping, offset
+    raise WireError(f"unknown metadata blob tag {tag!r}")
 
 
 class FrameKind(enum.IntEnum):
@@ -126,34 +299,51 @@ def encode_frame(
     meta: Optional[dict[str, Any]] = None,
     arrays: tuple[np.ndarray, ...] = (),
 ) -> bytes:
-    """Serialise one frame: header + metadata blob + raw array buffers."""
+    """Serialise one frame: header + metadata blob + raw array buffers.
+
+    The metadata blob uses the safe blob codec; metadata holding objects
+    outside its closed type set (the ``SPEC`` blueprint, ``CREATE_MACHINE``
+    image dataclasses) falls back to pickle and sets :data:`FLAG_PICKLED`
+    in the header, so only decoders that opted in will accept the frame.
+    """
     descriptors = []
     buffers = []
     for array in arrays:
         array = np.ascontiguousarray(array)
         descriptors.append((array.dtype.str, array.shape))
         buffers.append(array.tobytes())
-    blob = pickle.dumps(
-        {"meta": meta if meta is not None else {}, "arrays": descriptors},
-        protocol=5,
-    )
+    payload = {"meta": meta if meta is not None else {}, "arrays": descriptors}
+    flags = 0
+    try:
+        blob = encode_blob(payload)
+    except TypeError:
+        blob = pickle.dumps(payload, protocol=5)
+        flags = FLAG_PICKLED
     header = _HEADER.pack(
-        WIRE_MAGIC, WIRE_VERSION, int(kind), 0, len(blob), len(descriptors)
+        WIRE_MAGIC, WIRE_VERSION, int(kind), flags, len(blob), len(descriptors)
     )
     return b"".join([header, blob, *buffers])
 
 
-def decode_frame(data: bytes) -> tuple[FrameKind, dict[str, Any], list[np.ndarray]]:
+def decode_frame(
+    data: bytes, *, allow_pickle: bool = False
+) -> tuple[FrameKind, dict[str, Any], list[np.ndarray]]:
     """Parse one frame back into ``(kind, meta, arrays)``.
 
     The returned arrays are zero-copy read-only views over ``data``; copy
     them before mutating.  Raises :class:`WireError` on malformed frames and
     :class:`WireVersionError` on a protocol-version mismatch (checked before
     anything else is deserialised).
+
+    ``allow_pickle`` gates frames whose metadata fell back to pickle
+    (:data:`FLAG_PICKLED`): it must stay ``False`` — the default — for any
+    frame read from a peer that has not authenticated, and is only set on
+    the worker side of an operator-configured supervisor channel, where the
+    ``SPEC``/``CREATE_MACHINE`` payloads genuinely carry rich objects.
     """
     if len(data) < _HEADER.size:
         raise WireError(f"frame truncated: {len(data)} bytes < header size")
-    magic, version, kind, _flags, meta_len, array_count = _HEADER.unpack_from(data)
+    magic, version, kind, flags, meta_len, array_count = _HEADER.unpack_from(data)
     if magic != WIRE_MAGIC:
         raise WireError(f"bad frame magic {magic!r}")
     if version != WIRE_VERSION:
@@ -168,8 +358,16 @@ def decode_frame(data: bytes) -> tuple[FrameKind, dict[str, Any], list[np.ndarra
     offset = _HEADER.size
     if len(data) < offset + meta_len:
         raise WireError("frame truncated inside the metadata blob")
+    if flags & FLAG_PICKLED and not allow_pickle:
+        raise WireError(
+            f"refusing the pickled metadata blob of a {frame_kind.name} frame: "
+            "this decoder only accepts pickle on trusted channels"
+        )
     try:
-        blob = pickle.loads(data[offset : offset + meta_len])
+        if flags & FLAG_PICKLED:
+            blob = pickle.loads(data[offset : offset + meta_len])
+        else:
+            blob = decode_blob(data[offset : offset + meta_len])
         meta, descriptors = blob["meta"], blob["arrays"]
     except Exception as error:
         raise WireError(f"undecodable metadata blob: {error}") from error
@@ -205,7 +403,7 @@ def decode_frame(data: bytes) -> tuple[FrameKind, dict[str, Any], list[np.ndarra
 def _validated_descriptor(descriptor: Any) -> tuple[np.dtype, tuple[int, ...]]:
     """Validate one ``(dtype_str, shape)`` array descriptor.
 
-    Descriptors arrive in the pickled metadata blob, i.e. from outside this
+    Descriptors arrive in the frame's metadata blob, i.e. from outside this
     process; they must never be able to slice a nonsense array view out of
     the frame (negative dimensions producing a negative ``nbytes``, object
     dtypes materialising arbitrary pointers, dimension counts beyond what

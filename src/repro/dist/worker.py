@@ -165,7 +165,10 @@ class _Worker:
             except (EOFError, OSError):
                 return False
             try:
-                kind, meta, arrays = wire.decode_frame(data)
+                # allow_pickle: this channel is the supervisor that spawned
+                # us (pipe) or whose address the operator configured (TCP);
+                # CREATE_MACHINE frames carry kernel/rootfs dataclasses.
+                kind, meta, arrays = wire.decode_frame(data, allow_pickle=True)
             except wire.WireError:
                 # A corrupt frame means the stream is desynced; treat it
                 # like a dropped connection (a --loop worker reconnects and

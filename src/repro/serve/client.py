@@ -62,6 +62,10 @@ class SubscriptionClient:
                     self.transport, meta, auth_secret, client_id or ""
                 )
                 kind, meta, _arrays, _data = self._recv()
+            if kind is FrameKind.ERROR:
+                raise SubscriptionError(
+                    str(meta.get("error", "the gateway rejected the subscription"))
+                )
             if kind is not FrameKind.SUBSCRIBE_ACK:
                 raise SubscriptionError(
                     f"expected SUBSCRIBE_ACK, got {kind.name}"

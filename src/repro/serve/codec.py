@@ -29,6 +29,7 @@ float bit patterns survive the round trip unchanged.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Optional
 
@@ -470,12 +471,25 @@ class EpochUpdateCodec:
     state/diff the caller passes at publish time), encoded on first use
     and cached by epoch.  ``encode_count`` counts actual frame encodings —
     the single-encode guarantee the fan-out benchmark pins down.
+
+    The codec is shared between the coordinator thread (publications,
+    history pruning, info-API rendering) and the gateway's event-loop
+    thread (fan-out, eviction resyncs), so an internal lock guards every
+    cache mutation — the check-and-encode is atomic, keeping the
+    exactly-once guarantee under concurrency.  ``prune`` additionally
+    records a floor so a publish racing a prune cannot re-insert a pruned
+    epoch that would then be cached forever.  Lock ordering: callers may
+    hold the database lock when entering the codec (database → codec);
+    the codec resolves any database lookups *before* taking its own lock,
+    so the reverse order never occurs.
     """
 
     def __init__(self, database: "ConstellationDatabase"):
         self._database = database
         self._keyframes: dict[int, bytes] = {}
         self._diffs: dict[int, bytes] = {}
+        self._lock = threading.Lock()
+        self._oldest_keyframe = 0  # prune floor: see `prune`
         self.encode_count = 0
 
     def keyframe_update(
@@ -490,29 +504,43 @@ class EpochUpdateCodec:
         database = self._database
         if epoch is None:
             epoch = database.epoch
-        if epoch not in self._keyframes:
+        with self._lock:
+            data = self._keyframes.get(epoch)
+        if data is None:
             if state is None:
                 if epoch == database.epoch:
                     state = database.state
                 else:
                     state = database.keyframe_state(epoch)
-            self._keyframes[epoch] = encode_keyframe_update(state, epoch)
-            self.encode_count += 1
-        return EpochUpdate(FrameKind.KEYFRAME, epoch, self._keyframes[epoch])
+            with self._lock:
+                data = self._keyframes.get(epoch)
+                if data is None:
+                    data = encode_keyframe_update(state, epoch)
+                    self.encode_count += 1
+                    if epoch >= self._oldest_keyframe:
+                        self._keyframes[epoch] = data
+        return EpochUpdate(FrameKind.KEYFRAME, epoch, data)
 
     def diff_update(
         self, epoch: int, diff: Optional["ConstellationDiff"] = None
     ) -> EpochUpdate:
         """The DIFF update advancing ``epoch - 1`` to ``epoch``."""
-        if epoch not in self._diffs:
+        with self._lock:
+            data = self._diffs.get(epoch)
+        if data is None:
             if diff is None:
                 chain = self._database.diffs_between(epoch - 1, epoch)
                 if not chain:
                     raise KeyError(f"no diff recorded for epoch {epoch}")
                 diff = chain[0]
-            self._diffs[epoch] = encode_diff_update(diff, epoch)
-            self.encode_count += 1
-        return EpochUpdate(FrameKind.DIFF, epoch, self._diffs[epoch])
+            with self._lock:
+                data = self._diffs.get(epoch)
+                if data is None:
+                    data = encode_diff_update(diff, epoch)
+                    self.encode_count += 1
+                    if epoch > self._oldest_keyframe:
+                        self._diffs[epoch] = data
+        return EpochUpdate(FrameKind.DIFF, epoch, data)
 
     def prune(self, oldest_keyframe: int) -> None:
         """Drop cached frames the database's history pruning released.
@@ -520,8 +548,13 @@ class EpochUpdateCodec:
         Mirrors ``ConstellationDatabase._prune_history``: keyframe bytes
         before the oldest retained keyframe and diff bytes at or before it
         are dropped, so the cache footprint tracks the retained window.
+        The floor is remembered so concurrent encoders skip caching frames
+        for already-pruned epochs (they still return the encoded update).
         """
-        for epoch in [e for e in self._keyframes if e < oldest_keyframe]:
-            del self._keyframes[epoch]
-        for epoch in [e for e in self._diffs if e <= oldest_keyframe]:
-            del self._diffs[epoch]
+        with self._lock:
+            self._oldest_keyframe = max(self._oldest_keyframe, oldest_keyframe)
+            floor = self._oldest_keyframe
+            for epoch in [e for e in self._keyframes if e < floor]:
+                del self._keyframes[epoch]
+            for epoch in [e for e in self._diffs if e <= floor]:
+                del self._diffs[epoch]

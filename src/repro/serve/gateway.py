@@ -16,8 +16,14 @@ the constellation computation from its consumers (§3.2) and the ROADMAP's
   bounded send queue.  A client that cannot drain its queue within the
   configured ``ack_timeout_s`` — the same discipline the worker
   supervisor applies to unacknowledged epochs — or whose queue overflows
-  is *evicted to a keyframe*: its queue is flushed and replaced with the
-  current epoch's keyframe, from which the diff stream resumes.
+  is *evicted to a keyframe*: its queued epoch backlog is flushed
+  (pending query replies are preserved) and replaced with the current
+  epoch's keyframe, from which the diff stream resumes.
+* **No pre-auth deserialisation hazards.**  Every frame a client can
+  send — including the very first SUBSCRIBE — is decoded with the wire
+  module's safe metadata codec; pickled metadata blobs are refused
+  outright (:func:`repro.dist.wire.decode_frame`'s default), so a dialer
+  gets no code-execution surface before (or after) authenticating.
 * **Scoped subscriptions.**  A subscription may scope itself to a
   geodetic bounding box (server-side filtering through
   :meth:`~repro.core.bounding_box.BoundingBox.contains_ecef` against the
@@ -76,7 +82,13 @@ def _machine_from_token(token: str):
 
 @dataclass
 class _Subscription:
-    """Server-side bookkeeping of one connected subscriber."""
+    """Server-side bookkeeping of one connected subscriber.
+
+    Queue items are ``(framed_bytes, is_result)`` pairs — the flag lets an
+    eviction flush the epoch backlog while preserving RESULT frames that
+    answer QUERYs the client is blocked on — plus the ``None`` shutdown
+    sentinel.
+    """
 
     client_id: str
     queue: asyncio.Queue
@@ -170,8 +182,7 @@ class StreamGateway:
             await self._server.wait_closed()
             self._server = None
         for subscription in list(self._subscriptions.values()):
-            subscription.closed = True
-            subscription.queue.put_nowait(None)
+            self._close_subscription(subscription)
         for writer in list(self._client_writers):
             writer.close()
         # Let the per-client handlers run their shutdown sequence to
@@ -243,16 +254,68 @@ class StreamGateway:
             return
         subscription.last_epoch = epoch
         try:
-            subscription.queue.put_nowait(payload)
+            subscription.queue.put_nowait((payload, False))
         except asyncio.QueueFull:
             # Slow client: drop its backlog and resynchronise it from the
             # current epoch's keyframe (the codec caches the encoding, so
             # concurrent evictions share one keyframe encode).
-            while not subscription.queue.empty():
-                subscription.queue.get_nowait()
-            keyframe = self.database.codec.keyframe_update(epoch, state=state)
-            subscription.queue.put_nowait(self._frame_bytes(keyframe.data))
-            subscription.evictions += 1
+            self._evict(subscription, epoch=epoch, state=state)
+
+    @staticmethod
+    def _close_subscription(subscription: _Subscription) -> None:
+        """Mark a subscription closed and wake its writer loop.
+
+        The sentinel put is best-effort: on a full queue the writer is
+        already awake and checks ``closed`` after every dequeue, so a
+        dropped sentinel cannot strand it.
+        """
+        subscription.closed = True
+        try:
+            subscription.queue.put_nowait(None)
+        except asyncio.QueueFull:
+            pass
+
+    def _evict(
+        self, subscription: _Subscription, epoch: Optional[int] = None, state=None
+    ) -> bool:
+        """Drop a subscription's epoch backlog and resync it from a keyframe.
+
+        Queued RESULT frames survive the flush — they answer QUERYs whose
+        clients are blocked waiting on the reply, and resyncing the epoch
+        stream does not invalidate them.  Without ``epoch``/``state`` the
+        current database state is used (taken under the database lock).
+        Returns ``False`` when a shutdown sentinel was drained, i.e. the
+        subscription is closing and the caller's loop should exit.
+        """
+        preserved = []
+        closing = subscription.closed
+        while not subscription.queue.empty():
+            item = subscription.queue.get_nowait()
+            if item is None:
+                closing = True
+            elif item[1]:
+                preserved.append(item)
+        database = self.database
+        if epoch is None or state is None:
+            with database.lock:
+                keyframe = database.codec.keyframe_update(
+                    database.epoch, state=database.state
+                )
+        else:
+            keyframe = database.codec.keyframe_update(epoch, state=state)
+        items = [(self._frame_bytes(keyframe.data), False), *preserved]
+        if closing:
+            items.append(None)
+        for item in items:
+            try:
+                subscription.queue.put_nowait(item)
+            except asyncio.QueueFull:
+                # Only reachable when the queue was brim-full of preserved
+                # replies; the overflow replies are dropped with the backlog.
+                break
+        subscription.last_epoch = max(subscription.last_epoch, keyframe.epoch)
+        subscription.evictions += 1
+        return not closing
 
     def _in_scope(self, subscription: _Subscription, state, diff, touched) -> bool:
         """Whether a diff intersects the subscription's scope.
@@ -339,9 +402,12 @@ class StreamGateway:
             pass
         finally:
             if subscription is not None:
-                subscription.closed = True
-                subscription.queue.put_nowait(None)
-                self._subscriptions.pop(subscription.client_id, None)
+                self._close_subscription(subscription)
+                # Pop only our own registry entry: after a (rejected)
+                # duplicate-id race the key may point at another live
+                # subscription whose stream must not be torn down.
+                if self._subscriptions.get(subscription.client_id) is subscription:
+                    del self._subscriptions[subscription.client_id]
             if writer_task is not None:
                 try:
                     await writer_task
@@ -388,6 +454,22 @@ class StreamGateway:
             ):
                 self.rejected_subscriptions += 1
                 return None
+        existing = self._subscriptions.get(client_id)
+        if existing is not None and not existing.closed:
+            # A second subscriber under the same id must not overwrite the
+            # registry entry: the first client's stream would silently stop
+            # when this connection's cleanup popped the shared key.
+            self.rejected_subscriptions += 1
+            writer.write(
+                self._frame_bytes(
+                    wire.encode_frame(
+                        FrameKind.ERROR,
+                        {"error": f"client id {client_id!r} is already subscribed"},
+                    )
+                )
+            )
+            await writer.drain()
+            return None
         scope, bbox, ground_station = _scope_of(meta)
         subscription = _Subscription(
             client_id=client_id,
@@ -422,7 +504,7 @@ class StreamGateway:
         # Seed the stream with the current epoch's keyframe so the client
         # has a base state to apply subsequent diffs onto.
         if seed is not None:
-            subscription.queue.put_nowait(self._frame_bytes(seed.data))
+            subscription.queue.put_nowait((self._frame_bytes(seed.data), False))
             subscription.last_epoch = epoch
         await writer.drain()
         return subscription
@@ -437,29 +519,18 @@ class StreamGateway:
         dropped and a fresh keyframe queued, and the write retried.
         """
         while True:
-            payload = await subscription.queue.get()
-            if payload is None or subscription.closed:
+            item = await subscription.queue.get()
+            if item is None or subscription.closed:
                 return
+            payload, _is_result = item
             writer.write(payload)
             try:
                 await asyncio.wait_for(writer.drain(), timeout=self.ack_timeout_s)
             except asyncio.TimeoutError:
                 if subscription.closed:
                     return
-                database = self.database
-                while not subscription.queue.empty():
-                    item = subscription.queue.get_nowait()
-                    if item is None:
-                        return
-                with database.lock:
-                    keyframe = database.codec.keyframe_update(
-                        database.epoch, state=database.state
-                    )
-                subscription.queue.put_nowait(self._frame_bytes(keyframe.data))
-                subscription.last_epoch = max(
-                    subscription.last_epoch, keyframe.epoch
-                )
-                subscription.evictions += 1
+                if not self._evict(subscription):
+                    return
                 continue
             subscription.delivered += 1
 
@@ -476,9 +547,19 @@ class StreamGateway:
             if kind is not FrameKind.QUERY:
                 raise GatewayError(f"unexpected {kind.name} frame mid-stream")
             result = self._answer_query(subscription, meta)
-            subscription.queue.put_nowait(
-                self._frame_bytes(wire.encode_frame(FrameKind.RESULT, result))
-            )
+            payload = self._frame_bytes(wire.encode_frame(FrameKind.RESULT, result))
+            try:
+                subscription.queue.put_nowait((payload, True))
+            except asyncio.QueueFull:
+                # The backlog is epoch frames the client is not draining;
+                # apply the eviction discipline (which preserves earlier
+                # replies) rather than tearing the connection down, then
+                # deliver this reply.
+                self._evict(subscription)
+                try:
+                    subscription.queue.put_nowait((payload, True))
+                except asyncio.QueueFull:
+                    pass  # queue brim-full of replies: drop like the backlog
 
     def _answer_query(self, subscription: _Subscription, meta: dict) -> dict:
         """Answer one path-latency query from the warm state tables.

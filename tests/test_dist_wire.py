@@ -132,15 +132,15 @@ def _forge_frame(
     version=WIRE_VERSION,
     array_count=None,
     blob=None,
+    flags=0,
 ):
     """Build a frame by hand so descriptors/counters can lie."""
     if blob is None:
-        blob = pickle.dumps(
-            {"meta": meta if meta is not None else {}, "arrays": list(descriptors)},
-            protocol=5,
+        blob = wire.encode_blob(
+            {"meta": meta if meta is not None else {}, "arrays": list(descriptors)}
         )
     count = len(descriptors) if array_count is None else array_count
-    header = struct.pack("<4sHBBII", magic, version, kind, 0, len(blob), count)
+    header = struct.pack("<4sHBBII", magic, version, kind, flags, len(blob), count)
     return header + blob + payload
 
 
@@ -213,10 +213,10 @@ class TestForgedDescriptors:
                 decode_frame(frame)
 
     def test_descriptor_table_and_meta_type_validated(self):
-        blob = pickle.dumps({"meta": {}, "arrays": 3}, protocol=5)
+        blob = wire.encode_blob({"meta": {}, "arrays": 3})
         with pytest.raises(WireError, match="descriptor"):
             decode_frame(_forge_frame(blob=blob, array_count=3))
-        blob = pickle.dumps({"meta": ["not", "a", "dict"], "arrays": []}, protocol=5)
+        blob = wire.encode_blob({"meta": ["not", "a", "dict"], "arrays": []})
         with pytest.raises(WireError, match="not a dict"):
             decode_frame(_forge_frame(blob=blob, array_count=0))
 
@@ -230,6 +230,150 @@ class TestForgedDescriptors:
                              array_count=5)
         with pytest.raises(WireError, match="count"):
             decode_frame(frame)
+
+
+class TestSafeBlobCodec:
+    """The metadata blob uses a closed-type-set codec by default — the
+    deserialisation boundary an unauthenticated peer can reach must never
+    construct objects or call anything."""
+
+    def test_roundtrip_closed_type_set(self):
+        meta = {
+            "none": None,
+            "on": True,
+            "off": False,
+            "small": -42,
+            "big": 2**100,
+            "neg_big": -(2**127),
+            "pi": 3.5,
+            "name": "gateway",
+            "raw": b"\x00\xff\x80",
+            "seq": [1, "two", 3.0],
+            "pair": (4, 5),
+            7: "int-key",
+            "nested": {"deep": {"er": (None, b"x")}},
+        }
+        kind, out, arrays = decode_frame(encode_frame(FrameKind.PING, meta))
+        assert kind is FrameKind.PING
+        assert out == meta
+        assert arrays == []
+        assert isinstance(out["pair"], tuple)
+        assert isinstance(out["seq"], list)
+        assert isinstance(out["raw"], bytes)
+
+    def test_numpy_scalars_coerced_to_python(self):
+        meta = {"i": np.int64(9), "f": np.float64(2.5), "b": np.bool_(True)}
+        _, out, _ = decode_frame(encode_frame(FrameKind.PING, meta))
+        assert out == {"i": 9, "f": 2.5, "b": True}
+        assert type(out["i"]) is int
+        assert type(out["f"]) is float
+        assert type(out["b"]) is bool
+
+    def test_blob_truncations_raise_wire_error(self):
+        blob = wire.encode_blob({"meta": {"k": [1, 2.5, "three"]}, "arrays": []})
+        for cut in range(len(blob)):
+            with pytest.raises(WireError):
+                wire.decode_blob(blob[:cut])
+
+    def test_forged_sequence_count_rejected(self):
+        # A count claiming more elements than remaining bytes must fail the
+        # bounds check, not allocate or loop on garbage.
+        blob = b"l" + struct.pack("<I", 2**31)
+        with pytest.raises(WireError, match="truncated"):
+            wire.decode_blob(blob)
+
+    def test_deep_nesting_rejected(self):
+        blob = b"l" + struct.pack("<I", 1)
+        for _ in range(100):
+            blob += b"l" + struct.pack("<I", 1)
+        blob += b"N"
+        with pytest.raises(WireError, match="deeply"):
+            wire.decode_blob(blob)
+
+    def test_unhashable_dict_key_rejected(self):
+        # dict with one entry whose key is a list — encodable tag-wise,
+        # unhashable on decode.
+        blob = b"d" + struct.pack("<I", 1)
+        blob += b"l" + struct.pack("<I", 0)  # key: []
+        blob += b"N"  # value: None
+        with pytest.raises(WireError, match="unhashable"):
+            wire.decode_blob(blob)
+
+
+_CANARY_CALLS: list[str] = []
+
+
+def _trip_canary(tag: str) -> None:
+    _CANARY_CALLS.append(tag)
+
+
+class _Canary:
+    """Pickles to a call of :func:`_trip_canary` — unpickling it anywhere
+    without opt-in would be the remote-code-execution the gate prevents."""
+
+    def __reduce__(self):
+        return (_trip_canary, ("boom",))
+
+
+class TestPickleGating:
+    """Pickle survives only as a header-flagged fallback for trusted
+    channels; a frame from an unauthenticated peer can never reach
+    ``pickle.loads`` without the decoder opting in."""
+
+    def test_pickled_blob_refused_by_default(self):
+        blob = pickle.dumps({"meta": {"x": 1}, "arrays": []}, protocol=5)
+        frame = _forge_frame(blob=blob, array_count=0, flags=wire.FLAG_PICKLED)
+        with pytest.raises(WireError, match="pickle"):
+            decode_frame(frame)
+
+    def test_pickled_blob_accepted_with_opt_in(self):
+        blob = pickle.dumps({"meta": {"x": 1}, "arrays": []}, protocol=5)
+        frame = _forge_frame(blob=blob, array_count=0, flags=wire.FLAG_PICKLED)
+        _, meta, arrays = decode_frame(frame, allow_pickle=True)
+        assert meta == {"x": 1}
+        assert arrays == []
+
+    def test_malicious_pickle_never_executes_without_opt_in(self):
+        del _CANARY_CALLS[:]
+        blob = pickle.dumps({"meta": {"evil": _Canary()}, "arrays": []}, protocol=5)
+        frame = _forge_frame(blob=blob, array_count=0, flags=wire.FLAG_PICKLED)
+        with pytest.raises(WireError):
+            decode_frame(frame)
+        assert _CANARY_CALLS == []
+
+    def test_unflagged_pickle_bytes_are_not_routed_to_pickle(self):
+        # A frame whose flags lie (pickle bytes without FLAG_PICKLED) must
+        # fail safe-blob decoding — the flag decides the codec, so stripping
+        # it cannot smuggle a pickle past the gate.
+        del _CANARY_CALLS[:]
+        blob = pickle.dumps({"meta": {"evil": _Canary()}, "arrays": []}, protocol=5)
+        frame = _forge_frame(blob=blob, array_count=0, flags=0)
+        with pytest.raises(WireError):
+            decode_frame(frame)
+        assert _CANARY_CALLS == []
+
+    def test_rich_payloads_take_the_flagged_fallback(self):
+        # Sets are outside the safe type set — stand-in for the WorkerSpec
+        # blueprint that rides SPEC frames.
+        frame = encode_frame(FrameKind.SPEC, {"spec": {1, 2}})
+        flags = frame[7]  # header: magic(4) + version(2) + kind(1) + flags
+        assert flags & wire.FLAG_PICKLED
+        with pytest.raises(WireError, match="pickle"):
+            decode_frame(frame)
+        _, meta, _ = decode_frame(frame, allow_pickle=True)
+        assert meta == {"spec": {1, 2}}
+
+    def test_safe_payloads_are_never_flagged(self):
+        for meta in (
+            {},
+            {"client": "c1", "scope": {"tables": True}},
+            {"nonce": b"\x01" * 16, "digest": b"\x02" * 32},
+            {"rng_state": 2**127 - 1, "epoch": 3},
+        ):
+            frame = encode_frame(FrameKind.SUBSCRIBE, meta)
+            assert not frame[7] & wire.FLAG_PICKLED
+            _, out, _ = decode_frame(frame)  # safe default decodes it
+            assert out == meta
 
 
 def _reference_frame() -> bytes:

@@ -6,6 +6,8 @@ projection **bit-for-bit** at every epoch, across at least 20 epochs, for
 both an Iridium-style and a Starlink-style constellation.
 """
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -190,6 +192,61 @@ class TestCodecCacheAndViews:
         database = ConstellationDatabase()
         assert isinstance(database.codec, EpochUpdateCodec)
         assert database.codec.encode_count == 0
+
+    def test_publish_racing_a_prune_cannot_reinsert_pruned_epochs(self):
+        config = iridium_configuration()
+        calculation = ConstellationCalculation(config)
+        database = ConstellationDatabase(keyframe_interval=2, retained_keyframes=2)
+        state = calculation.state_at(0.0)
+        database.set_state(state)
+        first_state = state
+        first_diff = None
+        for step in range(1, 9):
+            state, diff = advance(calculation, database, state, step * 30.0)
+            if first_diff is None:
+                first_diff = diff
+        oldest = min(database.keyframe_epochs())
+        assert oldest > 2
+        # A publish that lost the race against history pruning still gets a
+        # usable update, but must not re-populate the cache with an epoch
+        # that would then never be pruned again.
+        keyframe = database.codec.keyframe_update(1, state=first_state)
+        assert keyframe.epoch == 1 and keyframe.data
+        diff_update = database.codec.diff_update(2, diff=first_diff)
+        assert diff_update.epoch == 2 and diff_update.data
+        assert 1 not in database.codec._keyframes
+        assert 2 not in database.codec._diffs
+        assert all(epoch >= oldest for epoch in database.codec._keyframes)
+        assert all(epoch > oldest for epoch in database.codec._diffs)
+
+    def test_concurrent_encodes_stay_exactly_once(self):
+        config = iridium_configuration()
+        calculation = ConstellationCalculation(config)
+        database = ConstellationDatabase()
+        state = calculation.state_at(0.0)
+        database.set_state(state)
+        codec = database.codec
+        results: list[bytes] = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            for _ in range(5):
+                update = codec.keyframe_update(1, state=state)
+                with lock:
+                    results.append(update.data)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        # The gateway's single-encode guarantee holds under contention:
+        # everyone shares one encoding, counted once.
+        assert codec.encode_count == 1
+        assert len(results) == 40
+        assert all(data is results[0] for data in results)
 
 
 class TestScientificSanity:

@@ -8,7 +8,12 @@ and warm-table path queries with per-client cache attribution — plus the
 database staying torn-read-free under concurrent info-API readers.
 """
 
+import asyncio
+import pickle
+import socket
+import struct
 import threading
+import time
 
 import pytest
 
@@ -24,9 +29,11 @@ from repro.core import (
     ShellConfig,
 )
 from repro.orbits import GroundStation, ShellGeometry
+from repro.dist import wire
+from repro.dist.transport import _LENGTH_PREFIX
 from repro.serve import EpochSnapshot
 from repro.serve.client import SubscriptionClient, SubscriptionError
-from repro.serve.gateway import GatewayServer
+from repro.serve.gateway import GatewayServer, StreamGateway, _Subscription
 
 
 def iridium_configuration() -> Configuration:
@@ -201,6 +208,133 @@ class TestAuth:
             stats = server.statistics()
             assert stats["rejected_subscriptions"] == 1
             assert stats["subscriptions"] == 0
+
+
+class TestDuplicateClientIds:
+    def test_second_subscriber_with_same_id_is_rejected(self, testbed_core):
+        _, calculation, database, state = testbed_core
+        with GatewayServer(database) as server:
+            host, port = server.address
+            with SubscriptionClient(host, port, client_id="twin") as first:
+                first.sync_to_epoch(1)
+                with pytest.raises(SubscriptionError, match="already subscribed"):
+                    SubscriptionClient(host, port, client_id="twin", timeout_s=5.0)
+                stats = server.statistics()
+                assert stats["rejected_subscriptions"] == 1
+                assert stats["subscriptions"] == 1
+                # The rejected twin must not have torn down the original
+                # stream: the first client keeps receiving epochs.
+                state = advance(calculation, database, state, 30.0)
+                first.sync_to_epoch(database.epoch)
+                assert first.replica.snapshot().same_bits(
+                    EpochSnapshot.from_state(state, database.epoch)
+                )
+
+    def test_id_is_reusable_after_the_first_client_disconnects(self, testbed_core):
+        _, _, database, _ = testbed_core
+        with GatewayServer(database) as server:
+            host, port = server.address
+            with SubscriptionClient(host, port, client_id="twin") as first:
+                first.sync_to_epoch(1)
+            deadline = time.monotonic() + 5.0
+            while (
+                server.statistics()["subscriptions"]
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.02)
+            with SubscriptionClient(host, port, client_id="twin") as second:
+                second.sync_to_epoch(1)
+                assert second.client_id == "twin"
+
+
+_CANARY_CALLS: list[str] = []
+
+
+def _trip_canary(tag: str) -> None:
+    _CANARY_CALLS.append(tag)
+
+
+class _Canary:
+    def __reduce__(self):
+        return (_trip_canary, ("pwned",))
+
+
+class TestPreAuthSafety:
+    def test_pickled_subscribe_frame_is_refused_without_deserialising(
+        self, testbed_core
+    ):
+        """The first frame of an unauthenticated dialer must never reach
+        ``pickle.loads`` — a crafted SUBSCRIBE gets the connection dropped,
+        not code execution (the gateway runs in this process, so a pickle
+        canary firing would be observable here)."""
+        _, _, database, _ = testbed_core
+        del _CANARY_CALLS[:]
+        blob = pickle.dumps(
+            {"meta": {"client": _Canary()}, "arrays": []}, protocol=5
+        )
+        frame = (
+            struct.pack(
+                "<4sHBBII",
+                wire.WIRE_MAGIC,
+                wire.WIRE_VERSION,
+                int(wire.FrameKind.SUBSCRIBE),
+                wire.FLAG_PICKLED,
+                len(blob),
+                0,
+            )
+            + blob
+        )
+        with GatewayServer(database) as server:
+            host, port = server.address
+            with socket.create_connection((host, port), timeout=5.0) as sock:
+                sock.sendall(_LENGTH_PREFIX.pack(len(frame)) + frame)
+                sock.settimeout(5.0)
+                assert sock.recv(4096) == b""  # dropped, no handshake reply
+            assert server.statistics()["subscriptions"] == 0
+        assert _CANARY_CALLS == []
+
+
+class TestEvictionPreservesReplies:
+    def test_pending_query_replies_survive_a_flush(self, testbed_core):
+        _, _, database, _ = testbed_core
+        gateway = StreamGateway(database, queue_limit=8)
+        subscription = _Subscription(client_id="unit", queue=asyncio.Queue(8))
+        epoch_frame = b"epoch-bytes"
+        reply_a, reply_b = b"reply-a", b"reply-b"
+        for item in (
+            (epoch_frame, False),
+            (reply_a, True),
+            (epoch_frame, False),
+            (reply_b, True),
+        ):
+            subscription.queue.put_nowait(item)
+        assert gateway._evict(subscription) is True
+        items = []
+        while not subscription.queue.empty():
+            items.append(subscription.queue.get_nowait())
+        # Keyframe resync first, then the preserved replies in order — the
+        # epoch backlog is gone, the blocked queries still get answered.
+        resync, *rest = items
+        assert resync[1] is False
+        kind, _meta, _arrays = wire.decode_frame(resync[0][_LENGTH_PREFIX.size :])
+        assert kind is wire.FrameKind.KEYFRAME
+        assert rest == [(reply_a, True), (reply_b, True)]
+        assert subscription.evictions == 1
+        assert subscription.last_epoch == database.epoch
+
+    def test_evict_requeues_the_shutdown_sentinel_last(self, testbed_core):
+        _, _, database, _ = testbed_core
+        gateway = StreamGateway(database, queue_limit=8)
+        subscription = _Subscription(client_id="unit", queue=asyncio.Queue(8))
+        subscription.queue.put_nowait((b"epoch-bytes", False))
+        subscription.queue.put_nowait(None)
+        # A drained sentinel reports "closing" so the caller's loop exits,
+        # and is re-queued behind the resync so the writer still sees it.
+        assert gateway._evict(subscription) is False
+        items = []
+        while not subscription.queue.empty():
+            items.append(subscription.queue.get_nowait())
+        assert items[-1] is None
 
 
 class TestQueries:
